@@ -1,0 +1,30 @@
+"""Benchmark harness conventions.
+
+Each benchmark regenerates one paper table/figure at the scaled operating
+point (100 Mb/s bottleneck, paper ratios preserved — DESIGN.md §2), prints
+the rows/series the paper reports, and asserts the *shape* claims (who
+wins, by what factor, where crossovers fall).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 74)
+    print(f"  {title}")
+    print("=" * 74)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the (expensive) experiment exactly once under the benchmark
+    timer and return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

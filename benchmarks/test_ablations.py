@@ -1,0 +1,74 @@
+"""Ablations of the design choices called out in DESIGN.md §5."""
+
+from benchmarks.conftest import banner
+from repro.experiments.ablations import (
+    ablate_alert_boost,
+    ablate_cms,
+    ablate_eack_size,
+    ablate_int_overhead,
+    ablate_sampling_vs_dataplane,
+    cms_table,
+    eack_table,
+)
+
+
+def test_ablation_cms_geometry(once):
+    rows = once(ablate_cms)
+    banner("Ablation 1 — count-min-sketch geometry vs long-flow error")
+    print(cms_table(rows))
+    by_key = {(r.width, r.depth, r.conservative): r for r in rows}
+    # Depth and width both buy accuracy; conservative update helps more.
+    assert by_key[(4096, 3, False)].mean_overestimate \
+        < by_key[(256, 3, False)].mean_overestimate
+    assert by_key[(1024, 3, False)].mean_overestimate \
+        < by_key[(1024, 1, False)].mean_overestimate
+    assert by_key[(1024, 3, True)].mean_overestimate \
+        <= by_key[(1024, 3, False)].mean_overestimate
+    # The default geometry wastes no flow-table slots on mice.
+    assert by_key[(4096, 3, False)].false_long_flows == 0
+
+
+def test_ablation_eack_table_size(once):
+    rows = once(ablate_eack_size)
+    banner("Ablation 2 — eACK signature-table size vs RTT sample hit rate")
+    print(eack_table(rows))
+    hit_rates = [r.hit_rate for r in rows]
+    assert hit_rates == sorted(hit_rates), "hit rate must grow with table size"
+    assert hit_rates[-1] > 0.8
+    assert rows[0].evictions > rows[-1].evictions
+
+
+def test_ablation_sampling_vs_dataplane(once):
+    result = once(ablate_sampling_vs_dataplane)
+    banner("Ablation 3 — control-plane sampling vs data-plane microburst "
+           "detection (§4.2)")
+    print(result.table())
+    # The data plane sees every injected burst; 1 s sampling misses
+    # (nearly) all of them — the paper's argument for in-data-plane
+    # detection.
+    assert result.dataplane_bursts >= 4
+    assert result.sampled_bursts_by_interval[1.0] < result.dataplane_bursts
+    assert (result.sampled_bursts_by_interval[1.0]
+            <= result.sampled_bursts_by_interval[0.01])
+
+
+def test_ablation_alert_boost(once):
+    result = once(ablate_alert_boost)
+    banner("Ablation 4 — alert-triggered reporting boost (Fig. 6 line 3)")
+    print(result.table())
+    assert result.alerts_raised >= 1
+    assert result.samples_with_boost > 3 * result.samples_without_boost
+
+
+def test_ablation_int_vs_tap(once):
+    result = once(ablate_int_overhead)
+    banner("Ablation 6 — passive TAP (paper) vs INT (related-work baseline)")
+    print(result.table())
+    print(f"  INT goodput penalty: {result.goodput_penalty_pct:.2f}% "
+          f"({result.int_postcards} postcards)")
+    # Both architectures observe the congested queue...
+    assert result.tap_saw_queue and result.int_saw_queue
+    # ...but only INT pays for it with the measured traffic's own bytes.
+    assert result.tap_wire_overhead_bytes == 0
+    assert result.int_wire_overhead_bytes > 100_000
+    assert 0.0 < result.goodput_penalty_pct < 10.0

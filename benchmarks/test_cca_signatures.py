@@ -1,0 +1,49 @@
+"""Extension bench — congestion-control signatures through the passive
+monitor (the related-work P4CCI direction, Kfoury et al.).
+
+The monitor's existing wire metrics separate CCA families on a shared
+path: loss-based CUBIC/Reno fill the drop-tail buffer (high occupancy,
+RTT inflated by ~a full buffer, periodic retransmissions) while
+model-based BBR holds a small standing queue with (near) zero loss.
+
+Note the classifier caveat this run documents: a solo BBR flow's stable
+flight + zero loss matches the Dapper 'sender-limited' signature — a
+known limitation of the §4.4 heuristic for model-based CCAs.
+"""
+
+from benchmarks.conftest import banner
+from repro.experiments.ablations import ablate_cca_signatures, cca_table
+
+
+def test_cca_signatures(once):
+    rows = once(ablate_cca_signatures, duration_s=15.0)
+    banner("Extension — CCA signatures seen by the passive monitor")
+    print(cca_table(rows))
+
+    by_cc = {r.cc: r for r in rows}
+    cubic, reno, bbr = by_cc["cubic"], by_cc["reno"], by_cc["bbr"]
+
+    # All three saturate the link.
+    for r in rows:
+        assert r.throughput_mbps > 0.85 * 50.0, r
+
+    # Loss-based CCAs fill the buffer; BBR keeps a small standing queue.
+    assert cubic.mean_queue_occupancy_pct > 80.0
+    assert reno.mean_queue_occupancy_pct > 80.0
+    assert bbr.mean_queue_occupancy_pct < 0.8 * cubic.mean_queue_occupancy_pct
+
+    # ...which shows in the RTT the eACK algorithm reports.
+    assert bbr.mean_rtt_ms < cubic.mean_rtt_ms
+    assert bbr.mean_rtt_ms < 60.0  # near the 40 ms base
+
+    # Loss signatures: periodic retransmissions vs none.
+    assert cubic.retransmissions > 0
+    assert reno.retransmissions > 0
+    assert bbr.retransmissions == 0
+
+    # Limiter verdicts: loss-based flows read network-limited; BBR's
+    # stable-flight/no-loss profile trips the sender-limited branch (a
+    # documented Dapper-heuristic caveat).
+    assert cubic.verdict == "network"
+    assert reno.verdict == "network"
+    assert bbr.verdict == "sender"

@@ -1,0 +1,33 @@
+"""Fig. 10 — link utilisation and Jain's fairness index (paper §5.3).
+
+Paper shape: utilisation stays ≈1 throughout while fairness departs from
+≈1 for a stretch after the third flow joins, then recovers.
+"""
+
+from benchmarks.conftest import banner
+from repro.experiments.fig10_fairness import run_fig10
+
+
+def test_fig10_fairness(once):
+    result = once(run_fig10, duration_s=40.0, join_s=15.0)
+    banner("Fig. 10 — link utilisation and Jain's fairness")
+    print(result.summary())
+
+    # Shape 1: the link stays (nearly) fully utilised once flows are up.
+    assert result.utilization_during(8.0, 14.0) > 0.85
+    assert result.utilization_during(20.0, 39.0) > 0.85
+
+    # Shape 2: fairness dips after the join...
+    dip = result.min_fairness_after_join(horizon_s=10.0)
+    assert dip < 0.9, f"no fairness dip observed (min={dip:.2f})"
+
+    # ...and recovers to near-equitable sharing.
+    settled = result.settled_fairness()
+    assert settled > dip
+    assert settled > 0.75
+
+    # Shape 3: the active-flow count tracks the workload (2 then 3).
+    counts = {n for t, n in result.active_flows if 5.0 < t < 14.0}
+    assert 2 in counts
+    counts_post = {n for t, n in result.active_flows if 20.0 < t < 35.0}
+    assert 3 in counts_post

@@ -1,0 +1,34 @@
+"""Fig. 11 / §5.4.1 — small (BDP/4) buffers exposed by microbursts.
+
+Paper shape: the burst bloats the shallow queue; the data plane reports
+it with nanosecond start/duration; the two pre-existing flows' loss
+percentages escalate to two distinct levels; their throughput needs tens
+of (scaled) seconds to recover.
+"""
+
+from benchmarks.conftest import banner
+from repro.experiments.fig11_microburst import run_fig11
+
+
+def test_fig11_microburst(once):
+    result = once(run_fig11, duration_s=50.0, join_s=18.0)
+    banner("Fig. 11 — microbursts over a BDP/4 buffer")
+    print(result.summary())
+
+    # Shape 1: the data plane detected the join burst with ns records.
+    near = result.bursts_near_injection()
+    assert near, "no microburst detected at the join"
+    for burst in near:
+        assert burst.duration_ns > 0
+        assert burst.peak_occupancy > 0.5
+
+    # Shape 2: losses escalated on the pre-existing flows (paper: one
+    # above ~0.05%, the other above ~0.15% — distinct non-zero levels).
+    spikes = sorted(result.loss_spikes(), reverse=True)
+    assert len(spikes) == 2
+    assert spikes[0] > 0.15
+    assert spikes[1] > 0.05
+
+    # Shape 3: recovery takes multiple seconds (paper: ≈25 s).
+    recoveries = result.recovery_times_s()
+    assert max(recoveries) > 5.0, f"recovered implausibly fast: {recoveries}"

@@ -1,0 +1,44 @@
+"""Fig. 9 — per-flow throughput / RTT / queue occupancy / packet loss as
+a third transfer joins (paper §5.2).
+
+Paper shape: two flows at approximate parity; the join causes a queue
+surge and a loss spike; flows then converge toward a three-way share.
+"""
+
+from benchmarks.conftest import banner
+from repro.experiments.fig9_perflow import run_fig9
+
+
+def test_fig9_perflow(once):
+    result = once(run_fig9, duration_s=40.0, join_s=15.0)
+    banner("Fig. 9 — per-flow measurements (3rd flow joins at t=15s)")
+    print(result.summary())
+
+    # Shape 1: pre-join approximate parity between the two flows.
+    shares = result.pre_join_throughputs()[:2]
+    assert len(shares) == 2
+    assert min(shares) > 0.25 * sum(shares), f"starved flow: {shares}"
+    assert sum(shares) > 70.0  # ~bottleneck (Mbps)
+
+    # Shape 2: the join burst fills the queue.
+    assert result.join_queue_surge() > 80.0
+
+    # Shape 3: the burst causes packet losses.
+    assert result.join_loss_spike() > 0.0
+
+    # Shape 4: all three flows alive afterwards, sharing the link.
+    post = result.post_join_throughputs()
+    assert len(post) == 3
+    assert all(v > 5.0 for v in post), post
+    assert sum(post) > 70.0
+
+    # Shape 5: typical RTTs live between the 50 ms path floor and the
+    # worst case (100 ms base + one full 100 ms buffer of queueing).
+    # Individual samples may spike during loss recovery, as in the paper's
+    # own RTT panel, so bound the median rather than the max.
+    import statistics
+    for label, series in result.rtt_ms.items():
+        settled = [v for t, v in series if t > 10.0]
+        assert min(settled) > 40.0
+        assert min(settled) < 230.0
+        assert statistics.median(settled) < 250.0

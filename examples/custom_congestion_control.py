@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Extending the library: plug a custom congestion-control algorithm
+into the TCP substrate and watch it through the passive P4 monitor.
+
+Defines a deliberately primitive fixed-window AIMD ("aimd-fixed"), runs
+it next to CUBIC and BBR over the same path, and prints the wire-level
+signatures the monitor extracts for each — the P4CCI workflow from the
+paper's related work, applied to your own algorithm.
+
+Run:  python examples/custom_congestion_control.py
+"""
+
+from repro.experiments.ablations import ablate_cca_signatures, cca_table
+from repro.tcp.cc import CongestionControl, register_cc
+
+
+class FixedAimd(CongestionControl):
+    """Toy AIMD: +1 MSS per RTT always (no slow start), halve on loss."""
+
+    name = "aimd-fixed"
+
+    def on_ack(self, acked_bytes, rtt_ns, now_ns, flight_bytes):
+        self.cwnd += self.mss * acked_bytes / max(self.cwnd, 1.0)
+
+    def on_loss_event(self, flight_bytes, now_ns):
+        self.ssthresh = max(flight_bytes / 2.0, 2.0 * self.mss)
+        self.cwnd = self.ssthresh
+
+    def in_slow_start(self):
+        return False  # never — that's the 'fixed' part
+
+
+def main() -> None:
+    register_cc("aimd-fixed", FixedAimd)
+    rows = ablate_cca_signatures(
+        ccas=("cubic", "bbr", "aimd-fixed"), duration_s=15.0
+    )
+    print(cca_table(rows))
+    aimd = next(r for r in rows if r.cc == "aimd-fixed")
+    print(
+        f"\nthe monitor saw your algorithm reach "
+        f"{aimd.throughput_mbps:.1f} Mbps with {aimd.retransmissions} "
+        f"retransmissions and {aimd.mean_queue_occupancy_pct:.0f}% mean "
+        f"queue occupancy — no slow start means a long ramp, visible in "
+        f"the throughput series without touching the endpoints."
+    )
+
+
+if __name__ == "__main__":
+    main()

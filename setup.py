@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs (offline environments without the
+``wheel`` package cannot use PEP 660 editable builds)."""
+
+from setuptools import setup
+
+setup()

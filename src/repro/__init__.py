@@ -1,0 +1,37 @@
+"""repro — reproduction of "Enhancing perfSONAR Measurement Capabilities
+using P4 Programmable Data Planes" (Mazloum et al., SC-W 2023).
+
+The package provides, in pure Python (numpy for hot state):
+
+- :mod:`repro.netsim` — a nanosecond-resolution discrete-event network
+  simulator: links, store-and-forward switches with tail-drop FIFO queues,
+  passive optical TAPs, and impairment shims.
+- :mod:`repro.tcp` — a packet-level TCP implementation (Reno/CUBIC, fast
+  retransmit, RTO, receiver window, application pacing) plus iPerf3-like
+  traffic applications.
+- :mod:`repro.p4` — a behavioural model of a P4 programmable data plane:
+  parser over wire-format bytes, match-action tables, stateful registers,
+  CRC hash engines, and a count-min sketch, with a P4Runtime-like control
+  API.
+- :mod:`repro.core` — the paper's contribution: the passive per-flow
+  monitor program (throughput, RTT, loss, queue occupancy), microburst
+  detection, sender/receiver-vs-network limitation classification, and the
+  control plane with configurable reporting intervals and alert thresholds.
+- :mod:`repro.perfsonar` — a perfSONAR substrate: active measurement tools,
+  pScheduler, the pSConfig ``config-P4`` extension, a Logstash-like
+  pipeline and an OpenSearch-like archive.
+- :mod:`repro.mmwave` — a 60 GHz mmWave link model with LOS blockage and
+  the three blockage detectors compared in the paper (P4 IAT-based,
+  throughput-based, RSSI-based).
+- :mod:`repro.experiments` — one runnable scenario per paper table/figure.
+
+Quickstart::
+
+    from repro.experiments.fig9_perflow import run_fig9
+    result = run_fig9(duration_s=20.0)
+    print(result.summary())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,123 @@
+"""Command-line experiment runner.
+
+``repro-experiments <name>`` regenerates one paper table/figure and
+prints its summary, e.g.::
+
+    repro-experiments fig9 --duration 40 --join 15
+    repro-experiments table1
+    repro-experiments ablations
+    repro-experiments all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+
+def _fig9(args) -> str:
+    from repro.experiments.fig9_perflow import run_fig9
+    return run_fig9(duration_s=args.duration, join_s=args.join).summary()
+
+
+def _fig10(args) -> str:
+    from repro.experiments.fig10_fairness import run_fig10
+    return run_fig10(duration_s=args.duration, join_s=args.join).summary()
+
+
+def _fig11(args) -> str:
+    from repro.experiments.fig11_microburst import run_fig11
+    return run_fig11(duration_s=max(args.duration, 30.0), join_s=args.join).summary()
+
+
+def _fig12(args) -> str:
+    from repro.experiments.fig12_limiter import run_fig12
+    return run_fig12(duration_s=args.duration).summary()
+
+
+def _fig13(args) -> str:
+    from repro.experiments.fig13_iat import run_fig13
+    return run_fig13().summary()
+
+
+def _fig14(args) -> str:
+    from repro.experiments.fig14_recovery import run_fig14
+    return run_fig14().summary()
+
+
+def _table1(args) -> str:
+    from repro.experiments.table1_comparison import run_table1
+    return run_table1(duration_s=args.duration).summary()
+
+
+def _ablations(args) -> str:
+    from repro.experiments.ablations import (
+        ablate_alert_boost,
+        ablate_cms,
+        ablate_eack_size,
+        ablate_sampling_vs_dataplane,
+        cms_table,
+        eack_table,
+    )
+    parts = [
+        "== CMS geometry ==",
+        cms_table(ablate_cms()),
+        "",
+        "== eACK table size ==",
+        eack_table(ablate_eack_size()),
+        "",
+        "== sampling vs data plane ==",
+        ablate_sampling_vs_dataplane().table(),
+        "",
+        "== alert boost ==",
+        ablate_alert_boost().table(),
+    ]
+    return "\n".join(parts)
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "table1": _table1,
+    "ablations": _ablations,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate tables/figures from the perfSONAR+P4 paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--duration", type=float, default=40.0,
+                        help="workload duration in simulated seconds")
+    parser.add_argument("--join", type=float, default=15.0,
+                        help="join time of the third flow (fig9/10/11)")
+    parser.add_argument("--quick", action="store_true",
+                        help="short runs (duration 20, join 8)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.quick:
+        args.duration = min(args.duration, 20.0)
+        args.join = min(args.join, 8.0)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"\n{'=' * 70}\n  {name}\n{'=' * 70}")
+        print(EXPERIMENTS[name](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,142 @@
+"""Monitor configuration: the knobs Fig. 5(a) gives to pSConfig.
+
+Four metric classes, each with an extraction interval (t_N, t_P, t_R,
+t_Q), an optional alert threshold (a_N, a_P, a_R, a_Q), and a boosted
+sampling rate applied while the threshold is exceeded ("notifies the
+administrator and increases the collection rate to a value defined by
+the administrator").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.netsim.units import seconds
+
+
+class MetricKind(Enum):
+    """The four monitored metric classes of §3.2."""
+
+    THROUGHPUT = "throughput"        # t_N / a_N (byte counts)
+    PACKET_LOSS = "packet_loss"      # t_P / a_P
+    RTT = "rtt"                      # t_R / a_R
+    QUEUE_OCCUPANCY = "queue_occupancy"  # t_Q / a_Q
+
+    @classmethod
+    def from_cli(cls, text: str) -> "MetricKind":
+        """Accept the pSConfig spellings of Fig. 6 (e.g. ``RTT``,
+        ``queue_occupancy``)."""
+        normalized = text.strip().lower()
+        for kind in cls:
+            if kind.value == normalized:
+                return kind
+        raise ValueError(
+            f"unknown metric {text!r}; expected one of "
+            f"{[k.value for k in cls]}"
+        )
+
+
+@dataclass
+class MetricConfig:
+    """Per-metric reporting policy."""
+
+    samples_per_second: float = 1.0
+    alert_enabled: bool = False
+    # Threshold semantics per metric: throughput in bps, loss in percent,
+    # RTT in milliseconds, queue occupancy in percent (Fig. 6 line 3 uses
+    # ``--threshold 30`` for 30 % occupancy).
+    alert_threshold: Optional[float] = None
+    # Rate applied while the alert condition holds.
+    boosted_samples_per_second: Optional[float] = None
+
+    def interval_ns(self, boosted: bool = False) -> int:
+        rate = self.samples_per_second
+        if boosted and self.boosted_samples_per_second:
+            rate = self.boosted_samples_per_second
+        if rate <= 0:
+            raise ValueError("samples_per_second must be positive")
+        return max(1, seconds(1.0 / rate))
+
+
+@dataclass
+class MonitorConfig:
+    """Full configuration of the data plane + control plane."""
+
+    # Data-plane geometry.
+    flow_slots: int = 2048          # "the data plane can track 2048 active flows"
+    eack_table_size: int = 65536    # eACK signature/timestamp table (§4.3)
+    queue_stash_size: int = 65536   # ingress-copy timestamp stash (§4.2)
+    cms_width: int = 4096
+    cms_depth: int = 3
+    cms_conservative: bool = False
+    long_flow_bytes: int = 100_000  # CMS byte threshold for 'long flow'
+    timestamp_bits: int = 48        # Tofino-style timestamp width
+    # eACK stash entries older than this are stale (their data packet was
+    # lost and retransmitted); matching them would report recovery time,
+    # not path RTT, so they are discarded (Chen et al. do the same).
+    rtt_max_age_ns: int = 1_000_000_000
+
+    # Microburst detector (§3.3.3): queue-delay hysteresis thresholds as a
+    # fraction of the maximum (full-buffer) queueing delay.  One detector
+    # instance per tapped egress queue.
+    monitored_ports: int = 8
+    microburst_on_fraction: float = 0.5
+    microburst_off_fraction: float = 0.25
+
+    # Reference parameters of the monitored bottleneck, needed to convert
+    # queueing delay into occupancy (§4.2: occupancy = delay / buffer size).
+    bottleneck_rate_bps: int = 10_000_000_000
+    buffer_bytes: int = 125_000_000
+
+    # Control-plane policy per metric.
+    metrics: Dict[MetricKind, MetricConfig] = field(
+        default_factory=lambda: {kind: MetricConfig() for kind in MetricKind}
+    )
+
+    # Flows with no byte-count movement for this many throughput intervals
+    # are evicted from the flow table by the control plane.
+    idle_intervals_before_evict: int = 10
+
+    # Optional data-plane rate alerting (trTCM per flow; see
+    # repro.core.rate_meter).  Rates are fractions of the bottleneck.
+    rate_meter_enabled: bool = False
+    rate_meter_cir_fraction: float = 0.5
+    rate_meter_pir_fraction: float = 0.8
+    rate_meter_burst_bytes: int = 256 * 1024
+    rate_meter_red_threshold: int = 50
+
+    # Limiter classifier (§4.4) window and stability tolerance.
+    limiter_window: int = 10
+    limiter_stability_cv: float = 0.15
+    limiter_rwnd_fraction: float = 0.6
+    # Flows that keep less than this in flight (with no losses) are not
+    # filling the pipe: the application is the limit even if the sparse
+    # per-interval flight samples look noisy.
+    limiter_min_flight_bytes: int = 32_768
+
+    def max_queue_delay_ns(self) -> int:
+        """Drain time of a full buffer — the 100 % occupancy point."""
+        return self.buffer_bytes * 8 * 1_000_000_000 // self.bottleneck_rate_bps
+
+    def metric(self, kind: MetricKind) -> MetricConfig:
+        return self.metrics[kind]
+
+    def validate(self) -> None:
+        if self.flow_slots <= 0 or self.flow_slots & (self.flow_slots - 1):
+            raise ValueError("flow_slots must be a positive power of two")
+        if not 0 < self.microburst_off_fraction < self.microburst_on_fraction <= 1.0:
+            raise ValueError(
+                "need 0 < microburst_off_fraction < microburst_on_fraction <= 1"
+            )
+        if self.bottleneck_rate_bps <= 0 or self.buffer_bytes <= 0:
+            raise ValueError("bottleneck rate and buffer size must be positive")
+        for kind, mc in self.metrics.items():
+            if mc.samples_per_second <= 0:
+                raise ValueError(f"{kind.value}: samples_per_second must be positive")
+            if mc.alert_enabled and mc.alert_threshold is None:
+                raise ValueError(f"{kind.value}: alert enabled without a threshold")
+
+    def copy(self) -> "MonitorConfig":
+        return replace(self, metrics={k: replace(v) for k, v in self.metrics.items()})

@@ -1,0 +1,429 @@
+"""The switch control plane (Fig. 4/5b).
+
+Responsibilities, as the paper assigns them:
+
+- learn flows from the data plane's ``long_flow`` digests;
+- extract each metric class from the registers at its configured interval
+  (t_N bytes, t_P losses, t_R RTT, t_Q queue occupancy), at the boosted
+  rate while an alert is active;
+- derive throughput (bits / reporting duration), loss percentage, queue
+  occupancy (delay / full-buffer drain time), link utilisation, Jain's
+  fairness and active-flow counts (§4.1, §4.2, §5.3);
+- run the §4.4 limiter classification over flight-size/loss history;
+- turn ``flow_termination`` digests into the detailed long-flow report of
+  §3.3.2 and ``microburst`` digests into nanosecond burst events;
+- ship every record to the report sink (the perfSONAR archiver pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.netsim.engine import Event, Simulator
+from repro.netsim.units import NS_PER_S
+from repro.core.alerts import AlertManager
+from repro.core.config import MetricKind, MonitorConfig
+from repro.core.limiter import LimiterClassifier
+from repro.core.monitor import P4Monitor
+from repro.core.reports import (
+    AggregateSample,
+    Alert,
+    FlowSample,
+    FlowTerminationReport,
+    LimiterReport,
+    LimiterVerdict,
+    MicroburstEvent,
+)
+from repro.core.stats import jain_fairness, link_utilization, throughput_bps
+
+ReportSink = Callable[[object], None]
+
+
+@dataclass
+class TrackedFlow:
+    """Control-plane record of one data-plane-announced long flow."""
+
+    flow_id: int
+    rev_flow_id: int
+    slot: int
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    first_seen_ns: int
+    last_bytes: int = 0
+    last_pkts: int = 0
+    last_loss: int = 0
+    last_throughput_bps: float = 0.0
+    idle_intervals: int = 0
+    terminated: bool = False
+    verdict: LimiterVerdict = LimiterVerdict.UNKNOWN
+    last_rtt_ms: Optional[float] = None
+    jitter_ms: float = 0.0  # RFC 3550 smoothed inter-sample variation
+
+
+class MonitorControlPlane:
+    """Periodic extraction + processing + report shipping."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        monitor: P4Monitor,
+        config: Optional[MonitorConfig] = None,
+        report_sink: Optional[ReportSink] = None,
+    ) -> None:
+        self.sim = sim
+        self.monitor = monitor
+        self.config = config or monitor.config
+        self.runtime = monitor.runtime()
+        self.report_sink = report_sink
+
+        self.flows: Dict[int, TrackedFlow] = {}
+        self.alerts = AlertManager(self.config, sink=self._ship)
+        self.limiter = LimiterClassifier(self.config)
+
+        # Report archives kept locally (experiments read these directly).
+        self.flow_samples: Dict[MetricKind, List[FlowSample]] = {k: [] for k in MetricKind}
+        self.jitter_samples: List[FlowSample] = []
+        self.aggregate_samples: List[AggregateSample] = []
+        self.microbursts: List[MicroburstEvent] = []
+        self.terminations: List[FlowTerminationReport] = []
+        self.limiter_reports: List[LimiterReport] = []
+
+        self._timers: Dict[MetricKind, Event] = {}
+        self._running = False
+        self._tick_fns = {
+            MetricKind.THROUGHPUT: self._tick_throughput,
+            MetricKind.PACKET_LOSS: self._tick_loss,
+            MetricKind.RTT: self._tick_rtt,
+            MetricKind.QUEUE_OCCUPANCY: self._tick_queue,
+        }
+
+        self.runtime.subscribe_digest("long_flow", self._on_long_flow)
+        self.runtime.subscribe_digest("flow_termination", self._on_termination)
+        self.runtime.subscribe_digest("microburst", self._on_microburst)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        for kind in MetricKind:
+            self._arm(kind)
+
+    def stop(self) -> None:
+        self._running = False
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+
+    def _arm(self, kind: MetricKind) -> None:
+        boosted = self.alerts.metric_boosted(kind)
+        interval = self.config.metric(kind).interval_ns(boosted=boosted)
+        self._timers[kind] = self.sim.after(interval, self._tick, kind)
+
+    def _tick(self, kind: MetricKind) -> None:
+        if not self._running:
+            return
+        self._tick_fns[kind]()
+        self._arm(kind)
+
+    # -- runtime reconfiguration (what pSConfig drives, Fig. 5a) ------------------
+
+    def apply_metric_config(
+        self,
+        kind: MetricKind,
+        samples_per_second: Optional[float] = None,
+        alert_enabled: Optional[bool] = None,
+        alert_threshold: Optional[float] = None,
+        boosted_samples_per_second: Optional[float] = None,
+    ) -> None:
+        mc = self.config.metric(kind)
+        if samples_per_second is not None:
+            if samples_per_second <= 0:
+                raise ValueError("samples_per_second must be positive")
+            mc.samples_per_second = samples_per_second
+        if alert_enabled is not None:
+            mc.alert_enabled = alert_enabled
+        if alert_threshold is not None:
+            mc.alert_threshold = alert_threshold
+        if boosted_samples_per_second is not None:
+            mc.boosted_samples_per_second = boosted_samples_per_second
+        if self._running and kind in self._timers:
+            self._timers[kind].cancel()
+            self._arm(kind)
+
+    # -- digest handlers ------------------------------------------------------------
+
+    def _on_long_flow(self, _name: str, payload: dict) -> None:
+        flow = TrackedFlow(
+            flow_id=payload["flow_id"],
+            rev_flow_id=payload["rev_flow_id"],
+            slot=payload["slot"],
+            src_ip=payload["src_ip"],
+            dst_ip=payload["dst_ip"],
+            src_port=payload["src_port"],
+            dst_port=payload["dst_port"],
+            first_seen_ns=payload["first_seen_ns"],
+        )
+        self.flows[flow.flow_id] = flow
+
+    def _on_termination(self, _name: str, payload: dict) -> None:
+        fid = payload["flow_id"]
+        mask = self.config.flow_slots - 1
+        retx = self.runtime.read_register("pkt_loss", fid & mask)
+        report = FlowTerminationReport(
+            flow_id=fid,
+            src_ip=payload["src_ip"],
+            dst_ip=payload["dst_ip"],
+            src_port=payload["src_port"],
+            dst_port=payload["dst_port"],
+            start_ns=payload["start_ns"],
+            end_ns=payload["end_ns"],
+            total_packets=payload["total_packets"],
+            total_bytes=payload["total_bytes"],
+            retransmissions=retx,
+        )
+        self.terminations.append(report)
+        self._ship(report)
+        flow = self.flows.get(fid)
+        if flow is not None:
+            flow.terminated = True
+
+    def _on_microburst(self, _name: str, payload: dict) -> None:
+        max_delay = self.config.max_queue_delay_ns()
+        event = MicroburstEvent(
+            start_ns=payload["start_ns"],
+            duration_ns=payload["duration_ns"],
+            peak_queue_delay_ns=payload["peak_queue_delay_ns"],
+            peak_occupancy=payload["peak_queue_delay_ns"] / max_delay if max_delay else 0.0,
+            packets=payload["packets"],
+            port_id=payload.get("port_id", 0),
+        )
+        self.microbursts.append(event)
+        self._ship(event)
+
+    # -- extraction ticks ----------------------------------------------------------
+
+    def _active_flows(self) -> List[TrackedFlow]:
+        return [f for f in self.flows.values() if not f.terminated]
+
+    def _tick_throughput(self) -> None:
+        now = self.sim.now
+        kind = MetricKind.THROUGHPUT
+        interval = self.config.metric(kind).interval_ns(
+            boosted=self.alerts.metric_boosted(kind)
+        )
+        byte_deltas: List[int] = []
+        boosted = self.alerts.metric_boosted(kind)
+        for flow in self._active_flows():
+            total = self.runtime.read_register("flow_bytes", flow.slot)
+            delta = total - flow.last_bytes
+            flow.last_bytes = total
+            thr = throughput_bps(delta, interval)
+            flow.last_throughput_bps = thr
+            byte_deltas.append(delta)
+            if delta == 0:
+                flow.idle_intervals += 1
+                if flow.idle_intervals >= self.config.idle_intervals_before_evict:
+                    self._evict(flow)
+                    continue
+            else:
+                flow.idle_intervals = 0
+            sample = FlowSample(
+                time_ns=now,
+                metric=kind.value,
+                flow_id=flow.flow_id,
+                src_ip=flow.src_ip,
+                dst_ip=flow.dst_ip,
+                src_port=flow.src_port,
+                dst_port=flow.dst_port,
+                value=thr,
+                boosted=boosted,
+            )
+            self.flow_samples[kind].append(sample)
+            self._ship(sample)
+            self.alerts.check(kind, flow.flow_id, thr, now)
+
+        active = self._active_flows()
+        throughputs = [f.last_throughput_bps for f in active]
+        aggregate = AggregateSample(
+            time_ns=now,
+            link_utilization=link_utilization(
+                byte_deltas, interval, self.config.bottleneck_rate_bps
+            ),
+            jain_fairness=jain_fairness(throughputs) if throughputs else 1.0,
+            active_flows=len(active),
+            total_bytes=sum(self.runtime.read_register("flow_bytes", f.slot) for f in active),
+            total_packets=sum(self.runtime.read_register("flow_pkts", f.slot) for f in active),
+        )
+        self.aggregate_samples.append(aggregate)
+        self._ship(aggregate)
+
+    def _tick_loss(self) -> None:
+        now = self.sim.now
+        kind = MetricKind.PACKET_LOSS
+        boosted = self.alerts.metric_boosted(kind)
+        mask = self.config.flow_slots - 1
+        for flow in self._active_flows():
+            losses = self.runtime.read_register("pkt_loss", flow.flow_id & mask)
+            pkts = self.runtime.read_register("flow_pkts", flow.slot)
+            loss_delta = losses - flow.last_loss
+            flow.last_loss = losses
+            pkt_delta = max(1, pkts - flow.last_pkts)
+            flow.last_pkts = pkts
+            # Clamped: regressions observed before the flow claimed its
+            # slot can make the raw ratio exceed 100 %.
+            loss_pct = min(100.0, 100.0 * loss_delta / pkt_delta)
+            sample = FlowSample(
+                time_ns=now,
+                metric=kind.value,
+                flow_id=flow.flow_id,
+                src_ip=flow.src_ip,
+                dst_ip=flow.dst_ip,
+                src_port=flow.src_port,
+                dst_port=flow.dst_port,
+                value=loss_pct,
+                boosted=boosted,
+            )
+            self.flow_samples[kind].append(sample)
+            self._ship(sample)
+            self.alerts.check(kind, flow.flow_id, loss_pct, now)
+            self._limiter_step(flow, loss_delta, now)
+
+    def _limiter_step(self, flow: TrackedFlow, loss_delta: int, now: int) -> None:
+        flight = self.monitor.flight.flight_bytes(flow.flow_id)
+        self.limiter.observe(flow.flow_id, flight, loss_delta)
+        rwnd = self.runtime.read_register("flow_rwnd", flow.flow_id & (self.config.flow_slots - 1))
+        verdict, mean_flight, cv, losses = self.limiter.classify(flow.flow_id, rwnd)
+        flow.verdict = verdict
+        report = LimiterReport(
+            time_ns=now,
+            flow_id=flow.flow_id,
+            src_ip=flow.src_ip,
+            dst_ip=flow.dst_ip,
+            verdict=verdict,
+            flight_bytes=mean_flight,
+            flight_cv=cv,
+            loss_delta=losses,
+            rwnd_bytes=rwnd,
+        )
+        self.limiter_reports.append(report)
+        self._ship(report)
+
+    def _tick_rtt(self) -> None:
+        now = self.sim.now
+        kind = MetricKind.RTT
+        boosted = self.alerts.metric_boosted(kind)
+        mask = self.config.flow_slots - 1
+        for flow in self._active_flows():
+            # Algorithm 1 stores the RTT under the ACK direction's flow ID,
+            # i.e. the tracked flow's *reversed* ID.
+            rtt_ns = self.runtime.read_register("rtt", flow.rev_flow_id & mask)
+            if rtt_ns == 0:
+                continue  # no sample yet
+            rtt_ms = rtt_ns / 1e6
+            sample = FlowSample(
+                time_ns=now,
+                metric=kind.value,
+                flow_id=flow.flow_id,
+                src_ip=flow.src_ip,
+                dst_ip=flow.dst_ip,
+                src_port=flow.src_port,
+                dst_port=flow.dst_port,
+                value=rtt_ms,
+                boosted=boosted,
+            )
+            self.flow_samples[kind].append(sample)
+            self._ship(sample)
+            self.alerts.check(kind, flow.flow_id, rtt_ms, now)
+            self._jitter_step(flow, rtt_ms, now, boosted)
+
+    def _jitter_step(self, flow: TrackedFlow, rtt_ms: float, now: int,
+                     boosted: bool) -> None:
+        """Derived jitter (one of perfSONAR's four headline metrics,
+        §2.2): RFC 3550 smoothing of consecutive RTT-sample deltas."""
+        if flow.last_rtt_ms is not None:
+            delta = abs(rtt_ms - flow.last_rtt_ms)
+            flow.jitter_ms += (delta - flow.jitter_ms) / 16.0
+            sample = FlowSample(
+                time_ns=now,
+                metric="jitter",
+                flow_id=flow.flow_id,
+                src_ip=flow.src_ip,
+                dst_ip=flow.dst_ip,
+                src_port=flow.src_port,
+                dst_port=flow.dst_port,
+                value=flow.jitter_ms,
+                boosted=boosted,
+            )
+            self.jitter_samples.append(sample)
+            self._ship(sample)
+        flow.last_rtt_ms = rtt_ms
+
+    def _tick_queue(self) -> None:
+        now = self.sim.now
+        kind = MetricKind.QUEUE_OCCUPANCY
+        boosted = self.alerts.metric_boosted(kind)
+        mask = self.config.flow_slots - 1
+        max_delay = self.config.max_queue_delay_ns()
+        for flow in self._active_flows():
+            idx = flow.flow_id & mask
+            # Peak-hold since the previous tick gives the occupancy the
+            # sampling interval actually experienced; clear after reading.
+            peak = self.runtime.read_register("flow_qdelay_max", idx)
+            self.runtime.clear_register("flow_qdelay_max", idx)
+            occupancy_pct = 100.0 * peak / max_delay if max_delay else 0.0
+            sample = FlowSample(
+                time_ns=now,
+                metric=kind.value,
+                flow_id=flow.flow_id,
+                src_ip=flow.src_ip,
+                dst_ip=flow.dst_ip,
+                src_port=flow.src_port,
+                dst_port=flow.dst_port,
+                value=occupancy_pct,
+                boosted=boosted,
+            )
+            self.flow_samples[kind].append(sample)
+            self._ship(sample)
+            self.alerts.check(kind, flow.flow_id, occupancy_pct, now)
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _evict(self, flow: TrackedFlow) -> None:
+        flow.terminated = True
+        self.monitor.flow_table.release_slot(flow.slot)
+        self.alerts.drop_flow(flow.flow_id)
+        self.limiter.forget(flow.flow_id)
+
+    def _ship(self, report: object) -> None:
+        if self.report_sink is not None:
+            payload = report.to_document() if hasattr(report, "to_document") else report
+            self.report_sink(payload)
+
+    # -- convenience queries (used by experiments/examples) ---------------------------
+
+    def throughput_series(self, flow_id: int) -> List[tuple]:
+        return [
+            (s.time_ns / NS_PER_S, s.value / 1e6)
+            for s in self.flow_samples[MetricKind.THROUGHPUT]
+            if s.flow_id == flow_id
+        ]
+
+    def series(self, kind: MetricKind, flow_id: Optional[int] = None) -> List[tuple]:
+        return [
+            (s.time_ns / NS_PER_S, s.value)
+            for s in self.flow_samples[kind]
+            if flow_id is None or s.flow_id == flow_id
+        ]
+
+    def flows_by_dst(self) -> Dict[int, List[TrackedFlow]]:
+        """Group flows by destination IP — how Grafana groups the paper's
+        dashboards (§5.1)."""
+        groups: Dict[int, List[TrackedFlow]] = {}
+        for flow in self.flows.values():
+            groups.setdefault(flow.dst_ip, []).append(flow)
+        return groups

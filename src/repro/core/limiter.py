@@ -1,0 +1,117 @@
+"""Flight-size tracking and the network-vs-endpoint limiter (§4.4).
+
+Data plane: for each tracked flow, maintain the highest transmitted
+sequence (from data packets) and the highest acknowledgment plus the
+receiver's advertised window (from the reverse-direction ACK stream).
+``flight size = highest_seq - highest_ack`` — "the count of transmitted
+bytes awaiting acknowledgment".
+
+Control plane (:class:`LimiterClassifier`): per extraction interval,
+examine the recent window of (flight size, loss delta) samples, following
+Ghasemi et al. (Dapper):
+
+- losses observed while the flight size had been expanding → the
+  **network** is the limit;
+- flight size stable with no losses → the **endpoint** is the limit;
+  sub-classified as *receiver*-limited when the flight pins near the
+  advertised window, else *sender*-limited;
+- flight still expanding without losses → the flow is *probing* (no
+  verdict yet).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Tuple
+
+from repro.netsim.packet import TCPFlags
+from repro.p4.pipeline import PipelineStage, StandardMetadata
+from repro.p4.parser import ParsedHeaders
+from repro.p4.registers import RegisterArray
+from repro.p4.runtime import P4Program
+from repro.core.config import MonitorConfig
+from repro.core.flow_table import PORT_INGRESS_TAP
+from repro.core.reports import LimiterVerdict
+from repro.core.stats import coefficient_of_variation
+
+
+class FlightSizeStage(PipelineStage):
+    name = "flight_size"
+
+    def __init__(self, program: P4Program, config: MonitorConfig) -> None:
+        self.mask = config.flow_slots - 1
+        slots = config.flow_slots
+        self.high_seq = program.register(RegisterArray("flight_high_seq", slots, 32))
+        self.high_ack = program.register(RegisterArray("flight_high_ack", slots, 32))
+        self.flow_rwnd = program.register(RegisterArray("flow_rwnd", slots, 32))
+
+    def process(self, hdr: ParsedHeaders, meta: StandardMetadata) -> None:
+        if meta.ingress_port != PORT_INGRESS_TAP:
+            return
+        if hdr.payload_len > 0:
+            # Data direction: remember the furthest byte put on the wire.
+            idx = meta.flow_id & self.mask
+            self.high_seq.maximum(idx, (hdr.seq + hdr.payload_len) & 0xFFFFFFFF)
+        elif hdr.flags & TCPFlags.ACK and not hdr.flags & TCPFlags.SYN:
+            # ACK direction: this packet's *reversed* ID is the data flow.
+            idx = meta.rev_flow_id & self.mask
+            self.high_ack.maximum(idx, hdr.ack)
+            self.flow_rwnd.write(idx, hdr.window)
+
+    def flight_bytes(self, flow_id: int) -> int:
+        """Current flight size for a (data-direction) flow ID."""
+        idx = flow_id & self.mask
+        return max(0, self.high_seq.read(idx) - self.high_ack.read(idx))
+
+
+@dataclass
+class _FlowHistory:
+    samples: Deque[Tuple[float, int]] = field(default_factory=lambda: deque(maxlen=16))
+
+
+class LimiterClassifier:
+    """Control-plane side: turns per-interval samples into verdicts."""
+
+    def __init__(self, config: MonitorConfig) -> None:
+        self.window = config.limiter_window
+        self.stability_cv = config.limiter_stability_cv
+        self.rwnd_fraction = config.limiter_rwnd_fraction
+        self.min_flight_bytes = config.limiter_min_flight_bytes
+        self._history: Dict[int, _FlowHistory] = {}
+
+    def observe(self, flow_id: int, flight_bytes: float, loss_delta: int) -> None:
+        hist = self._history.setdefault(flow_id, _FlowHistory())
+        hist.samples.append((flight_bytes, loss_delta))
+
+    def classify(self, flow_id: int, rwnd_bytes: int) -> Tuple[LimiterVerdict, float, float, int]:
+        """Returns (verdict, mean flight, flight CV, loss sum) over the
+        recent window."""
+        hist = self._history.get(flow_id)
+        if hist is None or len(hist.samples) < 2:
+            return LimiterVerdict.UNKNOWN, 0.0, 0.0, 0
+        recent = list(hist.samples)[-self.window:]
+        flights = [s[0] for s in recent]
+        losses = sum(s[1] for s in recent)
+        mean_flight = sum(flights) / len(flights)
+        cv = coefficient_of_variation(flights)
+
+        if losses > 0:
+            return LimiterVerdict.NETWORK_LIMITED, mean_flight, cv, losses
+        # Flight pinned against the advertised window: the receiver caps
+        # the flow regardless of sample jitter.
+        if rwnd_bytes > 0 and mean_flight >= self.rwnd_fraction * rwnd_bytes:
+            return LimiterVerdict.RECEIVER_LIMITED, mean_flight, cv, losses
+        if cv <= self.stability_cv:
+            return LimiterVerdict.SENDER_LIMITED, mean_flight, cv, losses
+        # A trickle that never fills the pipe (and never loses): the
+        # application is the limit even if sparse samples look noisy.
+        if mean_flight < self.min_flight_bytes:
+            return LimiterVerdict.SENDER_LIMITED, mean_flight, cv, losses
+        # Expanding without loss: congestion control is still probing.
+        if len(flights) >= 3 and flights[-1] > flights[0]:
+            return LimiterVerdict.PROBING, mean_flight, cv, losses
+        return LimiterVerdict.UNKNOWN, mean_flight, cv, losses
+
+    def forget(self, flow_id: int) -> None:
+        self._history.pop(flow_id, None)

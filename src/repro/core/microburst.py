@@ -1,0 +1,85 @@
+"""Data-plane microburst detection (§3.3.3, §4.2).
+
+"Because the duration of microbursts can be in the order of tens of
+microseconds, the sampling approach might not detect them.  For this,
+microburst detection should be fully implemented in the data plane."
+
+The detector watches the per-packet queueing delay produced by the
+queue-monitor stage.  A hysteresis pair of thresholds (fractions of the
+full-buffer drain time) marks burst start and end; on the falling edge a
+digest reports the burst's nanosecond start time, duration, peak delay
+and packet count — the report format of §3.3.3.
+"""
+
+from __future__ import annotations
+
+from repro.p4.externs import Digest
+from repro.p4.pipeline import PipelineStage, StandardMetadata
+from repro.p4.parser import ParsedHeaders
+from repro.p4.registers import RegisterArray
+from repro.p4.runtime import P4Program
+from repro.core.config import MonitorConfig
+from repro.core.flow_table import PORT_EGRESS_TAP
+
+
+class MicroburstStage(PipelineStage):
+    name = "microburst"
+
+    def __init__(self, program: P4Program, config: MonitorConfig) -> None:
+        self.config = config
+        max_delay = config.max_queue_delay_ns()
+        self.on_threshold_ns = int(config.microburst_on_fraction * max_delay)
+        self.off_threshold_ns = int(config.microburst_off_fraction * max_delay)
+        ts_bits = config.timestamp_bits
+
+        # One detector instance per monitored egress queue, registers
+        # sized by port count as a per-port P4 register would be.
+        ports = config.monitored_ports
+        self.ports = ports
+        self.state = program.register(RegisterArray("mb_state", ports, 8))
+        self.start = program.register(RegisterArray("mb_start", ports, ts_bits))
+        self.peak = program.register(RegisterArray("mb_peak", ports, ts_bits))
+        self.pkt_count = program.register(RegisterArray("mb_pkts", ports, 32))
+        self.digest = program.digest(Digest("microburst"))
+
+        self.bursts_detected = 0
+
+    def process(self, hdr: ParsedHeaders, meta: StandardMetadata) -> None:
+        if meta.ingress_port != PORT_EGRESS_TAP or meta.queue_delay_ns < 0:
+            return
+        delay = meta.queue_delay_ns
+        now = meta.ingress_timestamp_ns
+        port = meta.egress_port_id % self.ports
+        in_burst = self.state.read(port)
+        if not in_burst:
+            if delay >= self.on_threshold_ns:
+                # Burst start: the rise began when this packet entered the
+                # queue, i.e. ``delay`` nanoseconds ago.
+                self.state.write(port, 1)
+                self.start.write(port, max(0, now - delay))
+                self.peak.write(port, delay)
+                self.pkt_count.write(port, 1)
+            return
+        self.peak.maximum(port, delay)
+        self.pkt_count.add(port, 1)
+        if delay <= self.off_threshold_ns:
+            self.state.write(port, 0)
+            start = self.start.read(port)
+            self.bursts_detected += 1
+            self.digest.emit(
+                start_ns=start,
+                duration_ns=max(0, now - start),
+                peak_queue_delay_ns=self.peak.read(port),
+                packets=self.pkt_count.read(port),
+                port_id=port,
+            )
+
+    # -- control-plane visibility into an in-progress burst -----------------------
+
+    def current_burst(self, now_ns: int, port: int = 0):
+        """(start_ns, ongoing duration, peak) if a burst is in progress
+        on the given tapped queue."""
+        if not self.state.read(port):
+            return None
+        start = self.start.read(port)
+        return start, max(0, now_ns - start), self.peak.read(port)

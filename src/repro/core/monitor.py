@@ -1,0 +1,99 @@
+"""The assembled data-plane program (Fig. 4's 'data plane' component).
+
+:class:`P4Monitor` wires the five stages into a single pipeline in the
+order their metadata dependencies require (flow IDs → Algorithm 1 →
+flight size → queue-delay pairing → microburst), registers every
+register/digest/sketch with a :class:`~repro.p4.runtime.P4Program`, and
+exposes :meth:`receive_copy` as the TAP sink.
+
+Ingress-TAP copies drive the per-flow accounting; egress-TAP copies
+drive the queue/microburst path — both traverse the same pipeline and
+each stage dispatches on ``standard_metadata.ingress_port`` exactly as
+the P4 source would.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+from repro.netsim.tap import MirrorCopy, TapDirection
+from repro.p4.pipeline import P4Pipeline, StandardMetadata
+from repro.p4.runtime import P4Program, P4RuntimeClient
+from repro.core.config import MonitorConfig
+from repro.core.flow_table import PORT_EGRESS_TAP, PORT_INGRESS_TAP, FlowTableStage
+from repro.core.limiter import FlightSizeStage
+from repro.core.microburst import MicroburstStage
+from repro.core.queue_monitor import QueueMonitorStage
+from repro.core.rtt import RttLossStage
+
+
+class P4Monitor:
+    """The passive measurement switch."""
+
+    def __init__(self, config: Optional[MonitorConfig] = None,
+                 sim: Optional[Simulator] = None) -> None:
+        self.config = config or MonitorConfig()
+        self.config.validate()
+        self.sim = sim
+        self.program = P4Program("perfsonar_monitor")
+        self.pipeline = P4Pipeline("monitor")
+
+        self.flow_table = FlowTableStage(self.program, self.config)
+        self.rtt_loss = RttLossStage(self.program, self.config)
+        self.flight = FlightSizeStage(self.program, self.config)
+        self.queue = QueueMonitorStage(self.program, self.config)
+        self.microburst = MicroburstStage(self.program, self.config)
+        self.rate_meter = None
+        if self.config.rate_meter_enabled:
+            from repro.core.rate_meter import RateMeterStage
+            self.rate_meter = RateMeterStage(self.program, self.config)
+
+        for stage in (self.flow_table, self.rtt_loss, self.flight):
+            self.pipeline.add_ingress(stage)
+        if self.rate_meter is not None:
+            self.pipeline.add_ingress(self.rate_meter)
+        for stage in (self.queue, self.microburst):
+            self.pipeline.add_egress(stage)
+
+        self.copies_ingress = 0
+        self.copies_egress = 0
+
+    # -- TAP sink -------------------------------------------------------------
+
+    def receive_copy(self, copy: MirrorCopy) -> None:
+        """Sink signature expected by
+        :meth:`repro.netsim.topology.ScienceDMZTopology.attach_tap`."""
+        if copy.direction is TapDirection.INGRESS:
+            port = PORT_INGRESS_TAP
+            self.copies_ingress += 1
+        else:
+            port = PORT_EGRESS_TAP
+            self.copies_egress += 1
+        meta = StandardMetadata(
+            ingress_port=port,
+            ingress_timestamp_ns=copy.timestamp_ns,
+            egress_port_id=copy.egress_port_id,
+        )
+        self.pipeline.process(copy.pkt, meta)
+
+    def process_packet(
+        self,
+        packet: Union[Packet, bytes],
+        direction: TapDirection,
+        timestamp_ns: int,
+        egress_port_id: int = 0,
+    ) -> StandardMetadata:
+        """Direct injection (tests and trace replay).  Returns the packet's
+        metadata so callers can inspect flow IDs / queue delay."""
+        port = PORT_INGRESS_TAP if direction is TapDirection.INGRESS else PORT_EGRESS_TAP
+        meta = StandardMetadata(ingress_port=port, ingress_timestamp_ns=timestamp_ns,
+                                egress_port_id=egress_port_id)
+        self.pipeline.process(packet, meta)
+        return meta
+
+    # -- control-plane attachment ---------------------------------------------
+
+    def runtime(self) -> P4RuntimeClient:
+        return P4RuntimeClient(self.program)

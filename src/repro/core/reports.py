@@ -1,0 +1,208 @@
+"""Report structures (the 'Report_v1' of Fig. 7).
+
+The control plane restructures raw register reads into these records and
+ships them to the archiver pipeline.  ``to_document()`` produces the
+JSON-style dict that the Logstash TCP input plugin ingests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.netsim.packet import int_to_ip
+from repro.netsim.units import NS_PER_S
+
+
+class LimiterVerdict(Enum):
+    """§4.4 classification of what bounds a flow's throughput."""
+
+    NETWORK_LIMITED = "network"
+    SENDER_LIMITED = "sender"
+    RECEIVER_LIMITED = "receiver"
+    PROBING = "probing"      # flight still expanding, no losses yet
+    UNKNOWN = "unknown"
+
+    @property
+    def is_endpoint(self) -> bool:
+        return self in (LimiterVerdict.SENDER_LIMITED, LimiterVerdict.RECEIVER_LIMITED)
+
+
+@dataclass
+class FlowSample:
+    """One per-flow measurement at one extraction instant."""
+
+    time_ns: int
+    metric: str                 # MetricKind.value
+    flow_id: int
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    value: float                # metric units: bps / % / ms / %
+    boosted: bool = False
+
+    def to_document(self) -> dict:
+        return {
+            "type": f"p4_{self.metric}",
+            "@timestamp": self.time_ns / NS_PER_S,
+            "flow_id": self.flow_id,
+            "source_ip": int_to_ip(self.src_ip),
+            "destination_ip": int_to_ip(self.dst_ip),
+            "source_port": self.src_port,
+            "destination_port": self.dst_port,
+            "value": self.value,
+            "boosted": self.boosted,
+        }
+
+
+@dataclass
+class AggregateSample:
+    """Control-plane-derived network-wide metrics (§5.3)."""
+
+    time_ns: int
+    link_utilization: float     # fraction of bottleneck capacity
+    jain_fairness: float
+    active_flows: int
+    total_bytes: int
+    total_packets: int
+
+    def to_document(self) -> dict:
+        return {
+            "type": "p4_aggregate",
+            "@timestamp": self.time_ns / NS_PER_S,
+            "link_utilization": self.link_utilization,
+            "jain_fairness": self.jain_fairness,
+            "active_flows": self.active_flows,
+            "total_bytes": self.total_bytes,
+            "total_packets": self.total_packets,
+        }
+
+
+@dataclass
+class MicroburstEvent:
+    """A data-plane-detected microburst, ns start time and duration."""
+
+    start_ns: int
+    duration_ns: int
+    peak_queue_delay_ns: int
+    peak_occupancy: float       # fraction of the full buffer
+    packets: int
+    port_id: int = 0            # which tapped egress queue
+
+    def to_document(self) -> dict:
+        return {
+            "type": "p4_microburst",
+            "@timestamp": self.start_ns / NS_PER_S,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "peak_queue_delay_ns": self.peak_queue_delay_ns,
+            "peak_occupancy": self.peak_occupancy,
+            "packets": self.packets,
+            "port_id": self.port_id,
+        }
+
+
+@dataclass
+class FlowTerminationReport:
+    """The detailed terminated-long-flow report of §3.3.2: nanosecond
+    start/end, totals, average throughput, retransmission count and %."""
+
+    flow_id: int
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    start_ns: int
+    end_ns: int
+    total_packets: int
+    total_bytes: int
+    retransmissions: int
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def avg_throughput_bps(self) -> float:
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.total_bytes * 8 * NS_PER_S / self.duration_ns
+
+    @property
+    def retransmission_pct(self) -> float:
+        if self.total_packets == 0:
+            return 0.0
+        return 100.0 * self.retransmissions / self.total_packets
+
+    def to_document(self) -> dict:
+        return {
+            "type": "p4_flow_termination",
+            "@timestamp": self.end_ns / NS_PER_S,
+            "flow_id": self.flow_id,
+            "source_ip": int_to_ip(self.src_ip),
+            "destination_ip": int_to_ip(self.dst_ip),
+            "source_port": self.src_port,
+            "destination_port": self.dst_port,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_s": self.duration_ns / NS_PER_S,
+            "total_packets": self.total_packets,
+            "total_bytes": self.total_bytes,
+            "avg_throughput_bps": self.avg_throughput_bps,
+            "retransmissions": self.retransmissions,
+            "retransmission_pct": self.retransmission_pct,
+        }
+
+
+@dataclass
+class Alert:
+    """Raised when a metric crosses its administrator-set threshold."""
+
+    time_ns: int
+    metric: str
+    flow_id: Optional[int]
+    value: float
+    threshold: float
+    cleared: bool = False  # True when the alert condition ends
+
+    def to_document(self) -> dict:
+        return {
+            "type": "p4_alert",
+            "@timestamp": self.time_ns / NS_PER_S,
+            "metric": self.metric,
+            "flow_id": self.flow_id,
+            "value": self.value,
+            "threshold": self.threshold,
+            "event": "cleared" if self.cleared else "raised",
+        }
+
+
+@dataclass
+class LimiterReport:
+    """Per-flow §4.4 verdict at one extraction instant."""
+
+    time_ns: int
+    flow_id: int
+    src_ip: int
+    dst_ip: int
+    verdict: LimiterVerdict
+    flight_bytes: float
+    flight_cv: float
+    loss_delta: int
+    rwnd_bytes: int
+
+    def to_document(self) -> dict:
+        return {
+            "type": "p4_limiter",
+            "@timestamp": self.time_ns / NS_PER_S,
+            "flow_id": self.flow_id,
+            "source_ip": int_to_ip(self.src_ip),
+            "destination_ip": int_to_ip(self.dst_ip),
+            "verdict": self.verdict.value,
+            "flight_bytes": self.flight_bytes,
+            "flight_cv": self.flight_cv,
+            "loss_delta": self.loss_delta,
+            "rwnd_bytes": self.rwnd_bytes,
+        }

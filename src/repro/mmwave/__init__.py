@@ -1,0 +1,35 @@
+"""60 GHz mmWave substrate (paper §5.4.3, Figs. 13-14, after ref. [26]).
+
+Data-centre mmWave links suffer line-of-sight (LOS) blockage: when the
+beam is blocked, the link collapses to a reflected/fallback path orders
+of magnitude slower, and packet inter-arrival times (IAT) inflate
+correspondingly.  The paper compares three detection/reaction systems:
+
+- **P4 IAT-based** — a programmable data plane watches per-packet IAT and
+  triggers a handover within packet timescales;
+- **throughput-based** — a controller polls counters and reacts when the
+  measured rate degrades;
+- **RSSI-based** — off-the-shelf devices average the received signal
+  strength indicator and react when it stays below a threshold.
+
+Modules: :mod:`repro.mmwave.channel` (link + blockage + RSSI),
+:mod:`repro.mmwave.traffic` (CBR sender / throughput meter),
+:mod:`repro.mmwave.detectors` (the three systems),
+:mod:`repro.mmwave.handover` (beam-switch reaction).
+"""
+
+from repro.mmwave.channel import MmWaveLink, BlockageSchedule
+from repro.mmwave.traffic import CbrSender, ThroughputMeter
+from repro.mmwave.detectors import IatDetector, ThroughputDetector, RssiDetector
+from repro.mmwave.handover import HandoverController
+
+__all__ = [
+    "MmWaveLink",
+    "BlockageSchedule",
+    "CbrSender",
+    "ThroughputMeter",
+    "IatDetector",
+    "ThroughputDetector",
+    "RssiDetector",
+    "HandoverController",
+]

@@ -1,0 +1,167 @@
+"""The three blockage-detection systems of Fig. 14.
+
+All three call a :class:`~repro.mmwave.handover.HandoverController` when
+they decide the LOS is blocked; the experiment measures how long each
+takes from blockage onset to trigger and how the stream's throughput
+recovers.
+
+- :class:`IatDetector` — the P4 system: per-packet inter-arrival time
+  kept in data-plane registers, EWMA baseline, trigger on the first IAT
+  that exceeds ``factor × baseline``.  Reaction time is one (inflated)
+  packet gap.
+- :class:`ThroughputDetector` — a controller polling receive counters at
+  a fixed period; triggers when the measured rate falls below a fraction
+  of the expected rate.  Reaction is at least one polling period plus the
+  time the degradation needs to dominate the counter window.
+- :class:`RssiDetector` — off-the-shelf behaviour: periodic noisy RSSI
+  samples, EWMA smoothing, trigger after ``consecutive_required`` smoothed
+  samples below threshold (averaging is what makes it slowest).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.netsim.engine import Simulator
+from repro.netsim.host import Host
+from repro.netsim.packet import PROTO_UDP, Packet
+from repro.netsim.units import NS_PER_S
+from repro.p4.registers import RegisterArray
+from repro.mmwave.channel import MmWaveLink
+from repro.mmwave.handover import HandoverController
+
+
+class IatDetector:
+    """P4 data-plane IAT watchdog.
+
+    State lives in two registers (last arrival timestamp, EWMA of the
+    IAT) exactly as the P4 implementation in [26] keeps them; the EWMA
+    uses a shift-friendly alpha (1/8)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        controller: HandoverController,
+        factor: float = 8.0,
+        min_gap_ns: int = 50_000,
+        warmup_packets: int = 20,
+    ) -> None:
+        self.sim = sim
+        self.controller = controller
+        self.factor = factor
+        self.min_gap_ns = min_gap_ns
+        self.warmup_packets = warmup_packets
+        self.last_ts = RegisterArray("iat_last_ts", 1, 48)
+        self.ewma = RegisterArray("iat_ewma", 1, 48)
+        self.packets_seen = 0
+        self.triggered_at_ns: Optional[int] = None
+        host.rx_hooks.append(self._on_packet)
+
+    def _on_packet(self, pkt: Packet, ts_ns: int) -> None:
+        if pkt.proto != PROTO_UDP:
+            return
+        last = self.last_ts.read(0)
+        self.last_ts.write(0, ts_ns)
+        self.packets_seen += 1
+        if last == 0 or self.packets_seen <= self.warmup_packets:
+            return
+        iat = ts_ns - last
+        baseline = self.ewma.read(0)
+        if baseline == 0:
+            self.ewma.write(0, iat)
+            return
+        threshold = max(int(self.factor * baseline), self.min_gap_ns)
+        if iat > threshold and self.triggered_at_ns is None:
+            self.triggered_at_ns = ts_ns
+            self.controller.trigger("iat", ts_ns)
+            return
+        # EWMA with alpha = 1/8 (a shift in the data plane).
+        self.ewma.write(0, baseline + (iat - baseline) // 8)
+
+
+class ThroughputDetector:
+    """Controller polling the receiver's byte counter."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        controller: HandoverController,
+        expected_rate_bps: int,
+        poll_interval_ns: int = NS_PER_S // 2,
+        degradation_fraction: float = 0.5,
+        warmup_polls: int = 2,
+    ) -> None:
+        self.sim = sim
+        self.controller = controller
+        self.expected_rate_bps = expected_rate_bps
+        self.poll_interval_ns = poll_interval_ns
+        self.degradation_fraction = degradation_fraction
+        self.warmup_polls = warmup_polls
+        self._bytes = 0
+        self._polls = 0
+        self.triggered_at_ns: Optional[int] = None
+        host.rx_hooks.append(self._on_packet)
+        sim.after(poll_interval_ns, self._poll)
+
+    def _on_packet(self, pkt: Packet, ts_ns: int) -> None:
+        if pkt.proto == PROTO_UDP:
+            self._bytes += pkt.payload_len
+
+    def _poll(self) -> None:
+        rate = self._bytes * 8 * NS_PER_S / self.poll_interval_ns
+        self._bytes = 0
+        self._polls += 1
+        if (
+            self._polls > self.warmup_polls
+            and rate < self.degradation_fraction * self.expected_rate_bps
+            and self.triggered_at_ns is None
+        ):
+            self.triggered_at_ns = self.sim.now
+            self.controller.trigger("throughput", self.sim.now)
+        self.sim.after(self.poll_interval_ns, self._poll)
+
+
+class RssiDetector:
+    """Off-the-shelf RSSI watcher: EWMA of noisy samples, trigger after
+    ``consecutive_required`` smoothed readings below threshold."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: MmWaveLink,
+        controller: HandoverController,
+        threshold_dbm: float = -65.0,
+        sample_interval_ns: int = NS_PER_S // 10,
+        alpha: float = 0.2,
+        consecutive_required: int = 10,
+    ) -> None:
+        self.sim = sim
+        self.link = link
+        self.controller = controller
+        self.threshold_dbm = threshold_dbm
+        self.sample_interval_ns = sample_interval_ns
+        self.alpha = alpha
+        self.consecutive_required = consecutive_required
+        self._ewma: Optional[float] = None
+        self._below = 0
+        self.samples: List[tuple] = []
+        self.triggered_at_ns: Optional[int] = None
+        sim.after(sample_interval_ns, self._sample)
+
+    def _sample(self) -> None:
+        reading = self.link.rssi_dbm()
+        self._ewma = (
+            reading if self._ewma is None
+            else (1 - self.alpha) * self._ewma + self.alpha * reading
+        )
+        self.samples.append((self.sim.now, reading, self._ewma))
+        if self._ewma < self.threshold_dbm:
+            self._below += 1
+            if self._below >= self.consecutive_required and self.triggered_at_ns is None:
+                self.triggered_at_ns = self.sim.now
+                self.controller.trigger("rssi", self.sim.now)
+        else:
+            self._below = 0
+        self.sim.after(self.sample_interval_ns, self._sample)

@@ -1,0 +1,100 @@
+"""Constant-bit-rate traffic and throughput metering for the mmWave
+experiments.
+
+Figs. 13-14 plot per-packet IAT and throughput of a steady stream across
+the mmWave hop; a paced UDP-style sender gives the cleanest view of the
+channel itself (TCP dynamics would convolve congestion control into the
+detection-latency comparison)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.netsim.engine import Simulator
+from repro.netsim.host import Host
+from repro.netsim.packet import PROTO_UDP, Packet
+from repro.netsim.units import NS_PER_S
+
+
+class CbrSender:
+    """Paced constant-rate sender (UDP-like, proto 17)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        dst_ip: int,
+        rate_bps: int,
+        payload_len: int = 1400,
+        dst_port: int = 9000,
+        start_ns: int = 0,
+        stop_ns: Optional[int] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.host = host
+        self.dst_ip = dst_ip
+        self.dst_port = dst_port
+        self.rate_bps = rate_bps
+        self.payload_len = payload_len
+        self.stop_ns = stop_ns
+        self.packets_sent = 0
+        self._seq = 0
+        self.interval_ns = max(1, payload_len * 8 * NS_PER_S // rate_bps)
+        sim.at(max(start_ns, sim.now), self._send)
+
+    def _send(self) -> None:
+        if self.stop_ns is not None and self.sim.now >= self.stop_ns:
+            return
+        pkt = Packet(
+            src_ip=self.host.ip,
+            dst_ip=self.dst_ip,
+            src_port=9000,
+            dst_port=self.dst_port,
+            seq=self._seq,
+            proto=PROTO_UDP,
+            payload_len=self.payload_len,
+            created_ns=self.sim.now,
+        )
+        self._seq += 1
+        self.packets_sent += 1
+        self.host.send(pkt)
+        self.sim.after(self.interval_ns, self._send)
+
+
+class ThroughputMeter:
+    """Receiver-side byte counter with an interval series and per-packet
+    arrival log (the IAT source for Fig. 13)."""
+
+    def __init__(self, sim: Simulator, host: Host, interval_ns: int = NS_PER_S // 10) -> None:
+        self.sim = sim
+        self.host = host
+        self.interval_ns = interval_ns
+        self.total_bytes = 0
+        self.arrivals_ns: List[int] = []
+        self.intervals: List[Tuple[int, float]] = []  # (end_ns, bps)
+        self._interval_bytes = 0
+        host.rx_hooks.append(self._on_packet)
+        sim.after(interval_ns, self._tick)
+
+    def _on_packet(self, pkt: Packet, ts_ns: int) -> None:
+        if pkt.proto != PROTO_UDP:
+            return
+        self.total_bytes += pkt.payload_len
+        self._interval_bytes += pkt.payload_len
+        self.arrivals_ns.append(ts_ns)
+
+    def _tick(self) -> None:
+        bps = self._interval_bytes * 8 * NS_PER_S / self.interval_ns
+        self.intervals.append((self.sim.now, bps))
+        self._interval_bytes = 0
+        self.sim.after(self.interval_ns, self._tick)
+
+    def inter_arrival_times(self) -> List[Tuple[int, int]]:
+        """(arrival time, IAT) pairs, both ns — the Fig. 13 series."""
+        arr = self.arrivals_ns
+        return [(arr[i], arr[i] - arr[i - 1]) for i in range(1, len(arr))]
+
+    def throughput_series_mbps(self) -> List[Tuple[float, float]]:
+        return [(t / NS_PER_S, bps / 1e6) for t, bps in self.intervals]

@@ -1,0 +1,217 @@
+"""Ports and links.
+
+A :class:`Port` models a transmit interface: a tail-drop FIFO byte queue
+plus a serialiser running at the port rate.  A :class:`Link` joins two
+ports with a propagation delay and an optional chain of impairments
+(loss/extra delay, see :mod:`repro.netsim.netem`).
+
+Two scheduled events per hop per packet (transmit-complete and delivery)
+keep the event count — the simulator's hot path — minimal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+from repro.netsim.units import tx_time_ns
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.host import Node
+
+MirrorFn = Callable[[Packet, int], None]  # (packet, timestamp_ns)
+
+
+class Port:
+    """A transmit port with a tail-drop FIFO queue.
+
+    ``queue_bytes`` bounds the *waiting* bytes (the packet in transmission
+    is not counted), which is how shallow-buffer switches behave and what
+    makes the Fig. 11 small-buffer experiment meaningful.
+    """
+
+    __slots__ = (
+        "sim",
+        "owner",
+        "name",
+        "rate_bps",
+        "queue_limit_bytes",
+        "link",
+        "_queue",
+        "queued_bytes",
+        "busy",
+        "drops",
+        "tx_packets",
+        "tx_bytes",
+        "egress_mirrors",
+        "drop_hooks",
+        "ecn_threshold_bytes",
+        "ce_marked",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        owner: "Node",
+        rate_bps: int,
+        queue_limit_bytes: int = 16 * 1024 * 1024,
+        name: str = "",
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"port rate must be positive, got {rate_bps}")
+        if queue_limit_bytes < 0:
+            raise ValueError("queue limit cannot be negative")
+        self.sim = sim
+        self.owner = owner
+        self.name = name or f"{owner.name}.p{len(owner.ports)}"
+        self.rate_bps = rate_bps
+        self.queue_limit_bytes = queue_limit_bytes
+        self.link: Optional["Link"] = None
+        self._queue: deque[Packet] = deque()
+        self.queued_bytes = 0
+        self.busy = False
+        self.drops = 0
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.egress_mirrors: List[MirrorFn] = []
+        self.drop_hooks: List[Callable[[Packet], None]] = []
+        # ECN (RFC 3168): when set, ECT packets enqueued beyond this many
+        # waiting bytes are marked CE instead of waiting for a tail drop.
+        self.ecn_threshold_bytes: Optional[int] = None
+        self.ce_marked = 0
+
+    # -- data path ----------------------------------------------------------
+
+    def send(self, pkt: Packet) -> bool:
+        """Enqueue ``pkt`` for transmission.  Returns False on tail drop."""
+        if self.link is None:
+            raise RuntimeError(f"port {self.name} is not connected to a link")
+        if self.busy:
+            if self.queued_bytes + pkt.wire_len > self.queue_limit_bytes:
+                self.drops += 1
+                for hook in self.drop_hooks:
+                    hook(pkt)
+                return False
+            if (
+                self.ecn_threshold_bytes is not None
+                and self.queued_bytes >= self.ecn_threshold_bytes
+                and pkt.ecn in (Packet.ECN_ECT0, Packet.ECN_ECT1)
+            ):
+                pkt.ecn = Packet.ECN_CE
+                self.ce_marked += 1
+            self._queue.append(pkt)
+            self.queued_bytes += pkt.wire_len
+            return True
+        self._transmit(pkt)
+        return True
+
+    def _transmit(self, pkt: Packet) -> None:
+        self.busy = True
+        tx_ns = tx_time_ns(pkt.wire_len, self.rate_bps)
+        self.sim.after(tx_ns, self._tx_done, pkt)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += pkt.wire_len
+        now = self.sim.now
+        # Egress TAP point: the moment the last bit leaves the switch.
+        for mirror in self.egress_mirrors:
+            mirror(pkt, now)
+        assert self.link is not None
+        self.link.deliver(pkt, self)
+        if self._queue:
+            nxt = self._queue.popleft()
+            self.queued_bytes -= nxt.wire_len
+            self._transmit(nxt)
+        else:
+            self.busy = False
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def queue_depth_packets(self) -> int:
+        return len(self._queue)
+
+    def utilization_hint(self) -> float:
+        """Rough occupancy fraction of the queue (for tests/diagnostics)."""
+        if self.queue_limit_bytes == 0:
+            return 0.0
+        return self.queued_bytes / self.queue_limit_bytes
+
+
+class Link:
+    """Bidirectional point-to-point link: propagation delay + impairments.
+
+    Serialisation is modelled in the :class:`Port`; the link only carries
+    bits through space, so two simultaneous transmissions (one per
+    direction) never interact — full duplex, like the paper's fibre.
+    """
+
+    __slots__ = ("sim", "a", "b", "delay_ns", "impairments", "delivered", "name")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: Port,
+        b: Port,
+        delay_ns: int,
+        name: str = "",
+    ) -> None:
+        if delay_ns < 0:
+            raise ValueError("propagation delay cannot be negative")
+        if a.link is not None or b.link is not None:
+            raise RuntimeError("port already connected")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.delay_ns = delay_ns
+        self.impairments: list = []
+        self.delivered = 0
+        self.name = name or f"{a.name}<->{b.name}"
+        a.link = self
+        b.link = self
+
+    def other(self, port: Port) -> Port:
+        if port is self.a:
+            return self.b
+        if port is self.b:
+            return self.a
+        raise ValueError(f"port {port.name} is not on link {self.name}")
+
+    def deliver(self, pkt: Packet, from_port: Port) -> None:
+        """Carry ``pkt`` to the far end after ``delay_ns`` (+impairments)."""
+        extra_delay = 0
+        for imp in self.impairments:
+            verdict = imp.process(pkt)
+            if verdict is None:
+                return  # dropped by the impairment
+            extra_delay += verdict
+        peer = self.other(from_port)
+        self.sim.after(self.delay_ns + extra_delay, self._arrive, pkt, peer)
+
+    def _arrive(self, pkt: Packet, peer: Port) -> None:
+        self.delivered += 1
+        peer.owner.receive(pkt, peer)
+
+
+def connect(
+    sim: Simulator,
+    node_a: "Node",
+    node_b: "Node",
+    rate_bps: int,
+    delay_ns: int,
+    queue_bytes_a: int = 16 * 1024 * 1024,
+    queue_bytes_b: int = 16 * 1024 * 1024,
+    name: str = "",
+) -> Link:
+    """Create a port on each node and join them with a link.
+
+    ``rate_bps`` applies to both directions (symmetric link); per-direction
+    queue limits allow an output-queued switch port to be shallow while the
+    far-end host NIC stays deep.
+    """
+    pa = node_a.new_port(rate_bps, queue_bytes_a)
+    pb = node_b.new_port(rate_bps, queue_bytes_b)
+    return Link(sim, pa, pb, delay_ns, name=name)

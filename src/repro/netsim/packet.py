@@ -1,0 +1,424 @@
+"""Packet model: Ethernet / IPv4 / TCP headers with real wire-format
+serialisation.
+
+Inside the simulator packets are plain attribute objects (``__slots__``,
+no per-hop allocation).  The P4 behavioural parser (:mod:`repro.p4.parser`)
+can consume either the object directly (fast path, what the benchmarks
+use) or the exact on-the-wire bytes produced by :meth:`Packet.to_bytes`
+(used by the parser tests to prove the two views agree bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntFlag
+from typing import Optional
+
+ETHERTYPE_IPV4 = 0x0800
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+ETH_HEADER_LEN = 14
+IPV4_MIN_IHL = 5  # 32-bit words
+TCP_MIN_DATA_OFFSET = 5  # 32-bit words
+
+
+class TCPFlags(IntFlag):
+    """TCP flag bits, as laid out in the wire header."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+    ECE = 0x40
+    CWR = 0x80
+
+
+def ip_to_int(dotted: str) -> int:
+    """'10.0.0.1' -> 0x0A000001."""
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {dotted!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"malformed IPv4 address: {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """0x0A000001 -> '10.0.0.1'."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"IPv4 address out of range: {value:#x}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True, slots=True)
+class FiveTuple:
+    """The flow key used throughout the paper (§3.2)."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    proto: int = PROTO_TCP
+
+    def reversed(self) -> "FiveTuple":
+        """Key of the opposite direction; used for the *reversed flow ID*
+        that matches ACKs back to the data direction (§4)."""
+        return FiveTuple(self.dst_ip, self.src_ip, self.dst_port, self.src_port, self.proto)
+
+    def __str__(self) -> str:
+        return (
+            f"{int_to_ip(self.src_ip)}:{self.src_port}->"
+            f"{int_to_ip(self.dst_ip)}:{self.dst_port}/{self.proto}"
+        )
+
+
+_packet_uid = 0
+
+
+def _next_uid() -> int:
+    global _packet_uid
+    _packet_uid += 1
+    return _packet_uid
+
+
+class Packet:
+    """A TCP/IPv4 packet.  Payload is represented by its length only; the
+    simulator never materialises payload bytes (the monitor does not look
+    at them either — neither does the Tofino program in the paper).
+    """
+
+    __slots__ = (
+        "uid",
+        "src_ip",
+        "dst_ip",
+        "proto",
+        "ip_id",
+        "ttl",
+        "src_port",
+        "dst_port",
+        "seq",
+        "ack",
+        "flags",
+        "window",
+        "payload_len",
+        "tcp_options_len",
+        "sack",
+        "ecn",
+        "int_stack",
+        "created_ns",
+    )
+
+    # ECN codepoints (RFC 3168), carried in the low 2 bits of the IPv4
+    # DSCP/ECN byte.
+    ECN_NOT_ECT = 0
+    ECN_ECT1 = 1
+    ECN_ECT0 = 2
+    ECN_CE = 3
+
+    def __init__(
+        self,
+        src_ip: int,
+        dst_ip: int,
+        src_port: int,
+        dst_port: int,
+        seq: int = 0,
+        ack: int = 0,
+        flags: TCPFlags = TCPFlags.ACK,
+        window: int = 65535,
+        payload_len: int = 0,
+        proto: int = PROTO_TCP,
+        ip_id: int = 0,
+        ttl: int = 64,
+        tcp_options_len: int = 0,
+        sack: "Optional[tuple]" = None,
+        ecn: int = 0,
+        created_ns: int = 0,
+    ) -> None:
+        if not 0 <= ecn <= 3:
+            raise ValueError("ECN codepoint must be 0..3")
+        if sack:
+            if len(sack) > 3:
+                raise ValueError("at most 3 SACK blocks fit the option space")
+            # kind(1) + len(1) + 8 bytes per block, padded to 32-bit words.
+            needed = 2 + 8 * len(sack)
+            tcp_options_len = max(tcp_options_len, -(-needed // 4) * 4)
+        if tcp_options_len % 4:
+            raise ValueError("TCP options length must be a multiple of 4")
+        self.uid = _next_uid()
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.proto = proto
+        self.ip_id = ip_id & 0xFFFF
+        self.ttl = ttl
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = seq & 0xFFFFFFFF
+        self.ack = ack & 0xFFFFFFFF
+        self.flags = flags
+        self.window = window
+        self.payload_len = payload_len
+        self.tcp_options_len = tcp_options_len
+        self.sack = tuple(sack) if sack else None
+        self.ecn = ecn
+        # In-band telemetry metadata stack (INT-MD over L2, one entry per
+        # transit hop).  None when INT is not in use; see repro.p4.int.
+        self.int_stack = None
+        self.created_ns = created_ns
+
+    # -- derived lengths (wire semantics) -----------------------------------
+
+    @property
+    def ihl(self) -> int:
+        """IPv4 header length in 32-bit words (no IP options used)."""
+        return IPV4_MIN_IHL
+
+    @property
+    def data_offset(self) -> int:
+        """TCP data offset in 32-bit words."""
+        return TCP_MIN_DATA_OFFSET + self.tcp_options_len // 4
+
+    @property
+    def ip_total_len(self) -> int:
+        """IPv4 total length field: IP header + TCP header + payload.
+
+        Algorithm 1 computes the eACK from exactly this field:
+        ``seq + total_len - 4*ihl - 4*data_offset``.
+        """
+        return 4 * self.ihl + 4 * self.data_offset + self.payload_len
+
+    #: On-wire bytes per INT metadata hop entry (INT-MD: 12 B of metadata
+    #: amortising the 12 B shim/MD headers across a stack).
+    INT_HOP_BYTES = 12
+
+    @property
+    def wire_len(self) -> int:
+        """Bytes occupying the link: Ethernet header + IP total length,
+        plus any in-band telemetry stack riding between them.
+
+        (Preamble/IFG/FCS are folded into link rates; consistent across
+        baseline and monitor so ratios are unaffected.)
+        """
+        base = ETH_HEADER_LEN + self.ip_total_len
+        if self.int_stack:
+            base += self.INT_HOP_BYTES * len(self.int_stack)
+        return base
+
+    @property
+    def five_tuple(self) -> FiveTuple:
+        return FiveTuple(self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.proto)
+
+    @property
+    def is_pure_ack(self) -> bool:
+        """ACK segment carrying no payload (the paper's 'ACK' packet type)."""
+        return self.payload_len == 0 and bool(self.flags & TCPFlags.ACK)
+
+    @property
+    def expected_ack(self) -> int:
+        """The eACK of Algorithm 1: sequence number the receiver will
+        acknowledge once this segment (and everything before it) arrives.
+
+        SYN and FIN consume one sequence number each.
+        """
+        consumed = self.payload_len
+        if self.flags & TCPFlags.SYN:
+            consumed += 1
+        if self.flags & TCPFlags.FIN:
+            consumed += 1
+        return (self.seq + consumed) & 0xFFFFFFFF
+
+    # -- wire format ---------------------------------------------------------
+
+    def to_bytes(self, src_mac: bytes = b"\x02\x00\x00\x00\x00\x01",
+                 dst_mac: bytes = b"\x02\x00\x00\x00\x00\x02") -> bytes:
+        """Serialise headers to the exact wire format (payload zero-filled).
+
+        Checksums are computed for the IPv4 header; the TCP checksum is
+        left zero (the monitor never validates it, and neither does a
+        mirror port).
+        """
+        eth = dst_mac + src_mac + struct.pack("!H", ETHERTYPE_IPV4)
+        ver_ihl = (4 << 4) | self.ihl
+        ip_wo_cksum = struct.pack(
+            "!BBHHHBBH4s4s",
+            ver_ihl,
+            self.ecn & 0x03,  # DSCP zero; ECN in the low bits
+            self.ip_total_len,
+            self.ip_id,
+            0,  # flags/fragment offset
+            self.ttl,
+            self.proto,
+            0,  # checksum placeholder
+            struct.pack("!I", self.src_ip),
+            struct.pack("!I", self.dst_ip),
+        )
+        cksum = ipv4_checksum(ip_wo_cksum)
+        ip = ip_wo_cksum[:10] + struct.pack("!H", cksum) + ip_wo_cksum[12:]
+        offset_flags = (self.data_offset << 12) | int(self.flags)
+        # The wire field is 16 bits; larger in-simulation windows stand in
+        # for window scaling (the scale option is not serialised).
+        tcp = struct.pack(
+            "!HHIIHHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            offset_flags,
+            min(self.window, 0xFFFF),
+            0,  # checksum (not validated on a mirror path)
+            0,  # urgent pointer
+        ) + self._options_bytes()
+        return eth + ip + tcp + b"\x00" * self.payload_len
+
+    def _options_bytes(self) -> bytes:
+        """Real TCP option encoding: SACK (kind 5) padded with NOPs."""
+        if not self.sack:
+            return b"\x01" * self.tcp_options_len  # NOP padding only
+        body = struct.pack("!BB", 5, 2 + 8 * len(self.sack))
+        for start, end in self.sack:
+            body += struct.pack("!II", start & 0xFFFFFFFF, end & 0xFFFFFFFF)
+        if len(body) > self.tcp_options_len:
+            raise ValueError("SACK blocks exceed the reserved option space")
+        return body + b"\x01" * (self.tcp_options_len - len(body))
+
+    @classmethod
+    def from_bytes(cls, data: bytes, created_ns: int = 0) -> "Packet":
+        """Parse wire bytes back into a Packet (inverse of :meth:`to_bytes`)."""
+        if len(data) < ETH_HEADER_LEN + 20 + 20:
+            raise ValueError(f"truncated packet: {len(data)} bytes")
+        (ethertype,) = struct.unpack_from("!H", data, 12)
+        if ethertype != ETHERTYPE_IPV4:
+            raise ValueError(f"not IPv4: ethertype={ethertype:#06x}")
+        off = ETH_HEADER_LEN
+        ver_ihl, dscp_ecn, total_len, ip_id, _frag, ttl, proto, _ck = struct.unpack_from(
+            "!BBHHHBBH", data, off
+        )
+        ihl = ver_ihl & 0x0F
+        (src_ip,) = struct.unpack_from("!I", data, off + 12)
+        (dst_ip,) = struct.unpack_from("!I", data, off + 16)
+        toff = off + 4 * ihl
+        src_port, dst_port, seq, ack, offset_flags, window, _ck2, _urg = struct.unpack_from(
+            "!HHIIHHHH", data, toff
+        )
+        data_offset = offset_flags >> 12
+        flags = TCPFlags(offset_flags & 0x01FF)
+        payload_len = total_len - 4 * ihl - 4 * data_offset
+        options_len = 4 * (data_offset - TCP_MIN_DATA_OFFSET)
+        sack = _parse_sack(data[toff + 20 : toff + 20 + options_len])
+        return cls(
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            payload_len=payload_len,
+            proto=proto,
+            ip_id=ip_id,
+            ttl=ttl,
+            tcp_options_len=options_len,
+            sack=sack,
+            ecn=dscp_ecn & 0x03,
+            created_ns=created_ns,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet({self.five_tuple}, seq={self.seq}, ack={self.ack}, "
+            f"flags={self.flags!r}, len={self.payload_len})"
+        )
+
+
+def _parse_sack(options: bytes) -> Optional[tuple]:
+    """Scan a TCP option block for a SACK (kind 5) option."""
+    i = 0
+    while i < len(options):
+        kind = options[i]
+        if kind == 0:  # end of options
+            break
+        if kind == 1:  # NOP
+            i += 1
+            continue
+        if i + 1 >= len(options):
+            break
+        length = options[i + 1]
+        if length < 2:
+            break
+        if kind == 5:
+            nblocks = (length - 2) // 8
+            blocks = []
+            for b in range(nblocks):
+                start, end = struct.unpack_from("!II", options, i + 2 + 8 * b)
+                blocks.append((start, end))
+            return tuple(blocks)
+        i += length
+    return None
+
+
+def ipv4_checksum(header: bytes) -> int:
+    """Standard 16-bit one's-complement checksum over the IPv4 header."""
+    if len(header) % 2:
+        header += b"\x00"
+    total = 0
+    for i in range(0, len(header), 2):
+        total += (header[i] << 8) | header[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def make_data_packet(
+    ft: FiveTuple,
+    seq: int,
+    payload_len: int,
+    ack: int = 0,
+    flags: TCPFlags = TCPFlags.ACK,
+    window: int = 65535,
+    ip_id: int = 0,
+    created_ns: int = 0,
+) -> Packet:
+    """Convenience constructor used by tests and workload generators."""
+    return Packet(
+        src_ip=ft.src_ip,
+        dst_ip=ft.dst_ip,
+        src_port=ft.src_port,
+        dst_port=ft.dst_port,
+        seq=seq,
+        ack=ack,
+        flags=flags,
+        window=window,
+        payload_len=payload_len,
+        ip_id=ip_id,
+        created_ns=created_ns,
+    )
+
+
+def make_ack_packet(
+    ft: FiveTuple,
+    ack: int,
+    seq: int = 0,
+    window: int = 65535,
+    created_ns: int = 0,
+) -> Packet:
+    """Pure ACK in the direction ``ft`` (i.e. from the data receiver)."""
+    return Packet(
+        src_ip=ft.src_ip,
+        dst_ip=ft.dst_ip,
+        src_port=ft.src_port,
+        dst_port=ft.dst_port,
+        seq=seq,
+        ack=ack,
+        flags=TCPFlags.ACK,
+        window=window,
+        payload_len=0,
+        created_ns=created_ns,
+    )

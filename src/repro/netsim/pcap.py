@@ -1,0 +1,109 @@
+"""Classic pcap file I/O.
+
+Simulated captures serialise to real ``.pcap`` files (LINKTYPE_EN10MB)
+readable by Wireshark/tcpdump, and captures taken elsewhere can be read
+back and replayed through the monitor (:mod:`repro.core.replay`) — the
+workflow a software collector (scapy + P4Runtime) would use with mirror
+traffic.
+
+Timestamps are stored with nanosecond resolution using the PCAP_NSEC
+magic (0xA1B23C4D).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+from repro.netsim.packet import Packet
+
+MAGIC_NSEC = 0xA1B23C4D
+MAGIC_USEC = 0xA1B2C3D4
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+TimedPacket = Tuple[int, Packet]  # (timestamp_ns, packet)
+
+
+def write_pcap(path: Union[str, Path], packets: Iterable[TimedPacket],
+               snaplen: int = 65535) -> int:
+    """Write ``(timestamp_ns, Packet)`` pairs; returns the record count."""
+    count = 0
+    with open(path, "wb") as fh:
+        fh.write(_GLOBAL_HEADER.pack(
+            MAGIC_NSEC, 2, 4, 0, 0, snaplen, LINKTYPE_ETHERNET
+        ))
+        for ts_ns, pkt in packets:
+            raw = pkt.to_bytes()
+            incl = min(len(raw), snaplen)
+            fh.write(_RECORD_HEADER.pack(
+                ts_ns // 1_000_000_000,
+                ts_ns % 1_000_000_000,
+                incl,
+                len(raw),
+            ))
+            fh.write(raw[:incl])
+            count += 1
+    return count
+
+
+def read_pcap(path: Union[str, Path]) -> List[TimedPacket]:
+    """Read a pcap file back into ``(timestamp_ns, Packet)`` pairs.
+
+    Handles both nanosecond- and microsecond-resolution magics.
+    Truncated records and non-IPv4/TCP frames are skipped (a parser-level
+    reject, the way the monitor's parser would drop them).
+    """
+    data = Path(path).read_bytes()
+    if len(data) < _GLOBAL_HEADER.size:
+        raise ValueError(f"{path}: not a pcap file (too short)")
+    magic = struct.unpack_from("<I", data, 0)[0]
+    if magic == MAGIC_NSEC:
+        frac_scale = 1
+    elif magic == MAGIC_USEC:
+        frac_scale = 1000
+    else:
+        raise ValueError(f"{path}: unknown pcap magic {magic:#x}")
+    (_, _, _, _, _, _snaplen, linktype) = _GLOBAL_HEADER.unpack_from(data, 0)
+    if linktype != LINKTYPE_ETHERNET:
+        raise ValueError(f"{path}: unsupported linktype {linktype}")
+
+    out: List[TimedPacket] = []
+    offset = _GLOBAL_HEADER.size
+    while offset + _RECORD_HEADER.size <= len(data):
+        ts_sec, ts_frac, incl, orig = _RECORD_HEADER.unpack_from(data, offset)
+        offset += _RECORD_HEADER.size
+        frame = data[offset:offset + incl]
+        offset += incl
+        if len(frame) < incl or incl < orig:
+            continue  # truncated capture record
+        try:
+            pkt = Packet.from_bytes(frame)
+        except ValueError:
+            continue  # non-IPv4 or non-parsable frame
+        out.append((ts_sec * 1_000_000_000 + ts_frac * frac_scale, pkt))
+    return out
+
+
+class PcapCapture:
+    """An accumulating capture: attach as a host RX hook or a TAP sink,
+    then ``save(path)``."""
+
+    def __init__(self) -> None:
+        self.packets: List[TimedPacket] = []
+
+    def __call__(self, pkt: Packet, ts_ns: int) -> None:
+        self.packets.append((ts_ns, pkt))
+
+    def from_mirror(self, copy) -> None:
+        """MirrorSink adapter (records the TAP-point timestamp)."""
+        self.packets.append((copy.timestamp_ns, copy.pkt))
+
+    def save(self, path: Union[str, Path]) -> int:
+        return write_pcap(path, self.packets)
+
+    def __len__(self) -> int:
+        return len(self.packets)

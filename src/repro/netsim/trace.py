@@ -1,0 +1,83 @@
+"""Packet trace recording.
+
+A lightweight pcap-like recorder that can be attached as a host RX hook,
+a TAP sink, or called directly.  Used by tests for ground truth and by
+the Fig. 13 experiment to extract per-packet inter-arrival times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.netsim.packet import FiveTuple, Packet
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One observed packet."""
+
+    timestamp_ns: int
+    uid: int
+    five_tuple: FiveTuple
+    seq: int
+    ack: int
+    payload_len: int
+    wire_len: int
+
+
+class PacketTrace:
+    """Append-only packet log with flow filtering and IAT extraction."""
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self.records: List[TraceRecord] = []
+
+    # Callable with the (pkt, ts) hook signature used by Host.rx_hooks.
+    def __call__(self, pkt: Packet, ts_ns: int) -> None:
+        self.record(pkt, ts_ns)
+
+    def record(self, pkt: Packet, ts_ns: int) -> None:
+        self.records.append(
+            TraceRecord(
+                timestamp_ns=ts_ns,
+                uid=pkt.uid,
+                five_tuple=pkt.five_tuple,
+                seq=pkt.seq,
+                ack=pkt.ack,
+                payload_len=pkt.payload_len,
+                wire_len=pkt.wire_len,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def for_flow(self, ft: FiveTuple) -> List[TraceRecord]:
+        return [r for r in self.records if r.five_tuple == ft]
+
+    def data_records(self, ft: Optional[FiveTuple] = None) -> List[TraceRecord]:
+        """Payload-carrying packets only (optionally for one flow)."""
+        recs = self.records if ft is None else self.for_flow(ft)
+        return [r for r in recs if r.payload_len > 0]
+
+    def inter_arrival_times_ns(self, ft: Optional[FiveTuple] = None) -> List[int]:
+        """Per-packet IATs of data packets — the Fig. 13 signal."""
+        recs = self.data_records(ft)
+        return [b.timestamp_ns - a.timestamp_ns for a, b in zip(recs, recs[1:])]
+
+    def total_payload_bytes(self, ft: Optional[FiveTuple] = None) -> int:
+        return sum(r.payload_len for r in self.data_records(ft))
+
+    def throughput_bps(self, ft: Optional[FiveTuple] = None) -> float:
+        """Average goodput over the observed span of data packets."""
+        recs = self.data_records(ft)
+        if len(recs) < 2:
+            return 0.0
+        span_ns = recs[-1].timestamp_ns - recs[0].timestamp_ns
+        if span_ns <= 0:
+            return 0.0
+        return sum(r.payload_len for r in recs) * 8 * 1e9 / span_ns

@@ -1,0 +1,71 @@
+"""Data-plane → control-plane notification externs.
+
+A P4 ``digest`` lets the data plane push a small structured message to
+the control plane asynchronously (the monitor uses digests for new
+long-flow announcements, microburst events, and flow-termination
+reports).  Receivers subscribe per digest name; messages can optionally
+be delivered through the simulator's event queue with a latency, which
+models the PCIe/driver path of a real switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.netsim.engine import Simulator
+
+DigestReceiver = Callable[[str, dict], None]
+
+
+@dataclass
+class DigestMessage:
+    name: str
+    payload: dict
+    emitted_ns: int
+
+
+class Digest:
+    """One digest stream (e.g. ``"microburst"``)."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Optional[Simulator] = None,
+        latency_ns: int = 0,
+        max_queue: int = 100_000,
+    ) -> None:
+        self.name = name
+        self.sim = sim
+        self.latency_ns = latency_ns
+        self.max_queue = max_queue
+        self.receivers: List[DigestReceiver] = []
+        self.emitted = 0
+        self.dropped = 0
+        self.backlog: List[DigestMessage] = []  # kept when nobody listens
+
+    def subscribe(self, receiver: DigestReceiver) -> None:
+        self.receivers.append(receiver)
+        if self.backlog:
+            pending, self.backlog = self.backlog, []
+            for msg in pending:
+                receiver(self.name, msg.payload)
+
+    def emit(self, **payload: Any) -> None:
+        """Data-plane call: push one message."""
+        self.emitted += 1
+        if not self.receivers:
+            if len(self.backlog) >= self.max_queue:
+                self.dropped += 1
+                return
+            now = self.sim.now if self.sim is not None else 0
+            self.backlog.append(DigestMessage(self.name, payload, now))
+            return
+        if self.sim is not None and self.latency_ns > 0:
+            self.sim.after(self.latency_ns, self._deliver, payload)
+        else:
+            self._deliver(payload)
+
+    def _deliver(self, payload: dict) -> None:
+        for receiver in self.receivers:
+            receiver(self.name, payload)

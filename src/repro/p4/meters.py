@@ -1,0 +1,83 @@
+"""P4 meter extern: two-rate three-color marker (RFC 2698 trTCM).
+
+Meters let the data plane classify per-flow rates at line rate without
+control-plane involvement — the in-data-plane counterpart of the control
+plane's throughput alerts.  ``MeterArray`` models the P4 ``meter`` extern:
+one trTCM instance per index, executed per packet.
+
+Colors: GREEN (within CIR), YELLOW (within PIR), RED (above PIR).
+Token buckets refill continuously at CIR/PIR with burst caps CBS/PBS.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List
+
+import numpy as np
+
+
+class MeterColor(Enum):
+    GREEN = 0
+    YELLOW = 1
+    RED = 2
+
+
+class MeterArray:
+    """Indexed trTCM meters (color-blind mode)."""
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        cir_bps: int,
+        pir_bps: int,
+        cbs_bytes: int = 64 * 1024,
+        pbs_bytes: int = 128 * 1024,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("meter size must be positive")
+        if cir_bps <= 0 or pir_bps < cir_bps:
+            raise ValueError("need 0 < CIR <= PIR")
+        if cbs_bytes <= 0 or pbs_bytes <= 0:
+            raise ValueError("burst sizes must be positive")
+        self.name = name
+        self.size = size
+        self.cir_bps = cir_bps
+        self.pir_bps = pir_bps
+        self.cbs_bytes = cbs_bytes
+        self.pbs_bytes = pbs_bytes
+        # Token counts start full; timestamps at 0.
+        self._tc = np.full(size, float(cbs_bytes))
+        self._tp = np.full(size, float(pbs_bytes))
+        self._last_ns = np.zeros(size, dtype=np.int64)
+        self.marked = {color: 0 for color in MeterColor}
+
+    def execute(self, index: int, nbytes: int, now_ns: int) -> MeterColor:
+        """Meter one packet of ``nbytes`` at time ``now_ns``."""
+        elapsed = now_ns - int(self._last_ns[index])
+        if elapsed < 0:
+            raise ValueError("meter time must not move backwards")
+        self._last_ns[index] = now_ns
+        self._tc[index] = min(
+            self.cbs_bytes, self._tc[index] + elapsed * self.cir_bps / (8 * 1e9)
+        )
+        self._tp[index] = min(
+            self.pbs_bytes, self._tp[index] + elapsed * self.pir_bps / (8 * 1e9)
+        )
+        if self._tp[index] < nbytes:
+            color = MeterColor.RED
+        elif self._tc[index] < nbytes:
+            self._tp[index] -= nbytes
+            color = MeterColor.YELLOW
+        else:
+            self._tc[index] -= nbytes
+            self._tp[index] -= nbytes
+            color = MeterColor.GREEN
+        self.marked[color] += 1
+        return color
+
+    def reset(self, index: int, now_ns: int = 0) -> None:
+        self._tc[index] = self.cbs_bytes
+        self._tp[index] = self.pbs_bytes
+        self._last_ns[index] = now_ns

@@ -1,0 +1,86 @@
+"""Pipeline scaffolding: standard metadata and the ingress/egress block
+structure of a P4 target (§2.3: parser → ingress → egress → deparser).
+
+The monitor program (:mod:`repro.core.monitor`) subclasses
+:class:`PipelineStage` for each logical table/ALU group; the
+:class:`P4Pipeline` runs them in order, short-circuiting when a stage
+drops the packet.  This keeps each concern (flow tracking, RTT, queue,
+microburst, limiter) in its own testable unit, mirroring how the P4
+source would be organised into control blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.p4.parser import HeaderParser, ParsedHeaders
+
+
+@dataclass
+class StandardMetadata:
+    """Per-packet intrinsic metadata, as a P4 target provides it."""
+
+    ingress_port: int = 0
+    ingress_timestamp_ns: int = 0
+    # For egress-TAP copies: which tapped queue the packet left through.
+    egress_port_id: int = 0
+    # Populated by the queue-monitor stage for egress-TAP copies: the time
+    # the packet spent inside the tapped legacy switch.
+    queue_delay_ns: int = -1
+    # Monitor-specific scratch shared between stages (P4 user metadata).
+    flow_id: int = -1
+    rev_flow_id: int = -1
+    flow_slot: int = -1
+    is_long_flow: bool = False
+    drop: bool = False
+
+
+class PipelineStage:
+    """One control block.  Override :meth:`process`."""
+
+    name = "stage"
+
+    def process(self, hdr: ParsedHeaders, meta: StandardMetadata) -> None:
+        raise NotImplementedError
+
+
+class P4Pipeline:
+    """Parser + ordered ingress stages + ordered egress stages."""
+
+    def __init__(self, name: str = "pipeline") -> None:
+        self.name = name
+        self.parser = HeaderParser()
+        self.ingress: List[PipelineStage] = []
+        self.egress: List[PipelineStage] = []
+        self.packets_in = 0
+        self.packets_dropped = 0
+
+    def add_ingress(self, stage: PipelineStage) -> None:
+        self.ingress.append(stage)
+
+    def add_egress(self, stage: PipelineStage) -> None:
+        self.egress.append(stage)
+
+    def process(self, packet, meta: StandardMetadata) -> Optional[ParsedHeaders]:
+        """Run one packet through parse → ingress → egress.
+
+        Returns the parsed headers (None if the parser rejected or a
+        stage dropped it).
+        """
+        self.packets_in += 1
+        hdr = self.parser.parse(packet)
+        if hdr is None:
+            self.packets_dropped += 1
+            return None
+        for stage in self.ingress:
+            stage.process(hdr, meta)
+            if meta.drop:
+                self.packets_dropped += 1
+                return None
+        for stage in self.egress:
+            stage.process(hdr, meta)
+            if meta.drop:
+                self.packets_dropped += 1
+                return None
+        return hdr

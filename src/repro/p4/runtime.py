@@ -1,0 +1,123 @@
+"""A P4Runtime-like control API.
+
+The paper's control plane "utilizes the APIs provided by the switch
+manufacturer to access the measurements maintained by the data plane at
+run-time" (§3.2).  :class:`P4Program` is the named-object registry a
+compiled program exposes (registers, counters, tables, digests,
+sketches); :class:`P4RuntimeClient` is the handle the control plane talks
+through — the only coupling between :mod:`repro.core.control_plane` and
+the data-plane internals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.p4.externs import Digest, DigestReceiver
+from repro.p4.registers import Counter, RegisterArray
+from repro.p4.sketch import CountMinSketch
+from repro.p4.tables import MatchActionTable
+
+
+class P4Program:
+    """Registry of a loaded program's control-plane-visible objects."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.registers: Dict[str, RegisterArray] = {}
+        self.counters: Dict[str, Counter] = {}
+        self.tables: Dict[str, MatchActionTable] = {}
+        self.digests: Dict[str, Digest] = {}
+        self.sketches: Dict[str, CountMinSketch] = {}
+
+    # Registration (called by the program at construction time).
+
+    def register(self, reg: RegisterArray) -> RegisterArray:
+        if reg.name in self.registers:
+            raise ValueError(f"duplicate register {reg.name!r}")
+        self.registers[reg.name] = reg
+        return reg
+
+    def counter(self, ctr: Counter) -> Counter:
+        if ctr.name in self.counters:
+            raise ValueError(f"duplicate counter {ctr.name!r}")
+        self.counters[ctr.name] = ctr
+        return ctr
+
+    def table(self, tbl: MatchActionTable) -> MatchActionTable:
+        if tbl.name in self.tables:
+            raise ValueError(f"duplicate table {tbl.name!r}")
+        self.tables[tbl.name] = tbl
+        return tbl
+
+    def digest(self, dig: Digest) -> Digest:
+        if dig.name in self.digests:
+            raise ValueError(f"duplicate digest {dig.name!r}")
+        self.digests[dig.name] = dig
+        return dig
+
+    def sketch(self, name: str, cms: CountMinSketch) -> CountMinSketch:
+        if name in self.sketches:
+            raise ValueError(f"duplicate sketch {name!r}")
+        self.sketches[name] = cms
+        return cms
+
+
+class P4RuntimeClient:
+    """Control-plane handle: named reads/writes plus digest subscription."""
+
+    def __init__(self, program: P4Program) -> None:
+        self.program = program
+        self.register_reads = 0
+
+    # -- registers ---------------------------------------------------------
+
+    def read_register(self, name: str, index: Optional[int] = None):
+        reg = self._reg(name)
+        self.register_reads += 1
+        if index is None:
+            return reg.snapshot()
+        return reg.read(index)
+
+    def read_registers(self, name: str, indices: Iterable[int]) -> np.ndarray:
+        self.register_reads += 1
+        return self._reg(name).read_many(list(indices))
+
+    def write_register(self, name: str, index: int, value: int) -> None:
+        self._reg(name).write(index, value)
+
+    def clear_register(self, name: str, index: Optional[int] = None) -> None:
+        self._reg(name).clear(index)
+
+    def _reg(self, name: str) -> RegisterArray:
+        try:
+            return self.program.registers[name]
+        except KeyError:
+            raise KeyError(
+                f"program {self.program.name!r} has no register {name!r}; "
+                f"available: {sorted(self.program.registers)}"
+            ) from None
+
+    # -- counters ------------------------------------------------------------
+
+    def read_counter(self, name: str, index: int) -> tuple[int, int]:
+        ctr = self.program.counters[name]
+        return ctr.packets(index), ctr.bytes(index)
+
+    # -- tables ----------------------------------------------------------------
+
+    def table(self, name: str) -> MatchActionTable:
+        return self.program.tables[name]
+
+    # -- digests -----------------------------------------------------------------
+
+    def subscribe_digest(self, name: str, receiver: DigestReceiver) -> None:
+        try:
+            self.program.digests[name].subscribe(receiver)
+        except KeyError:
+            raise KeyError(
+                f"program {self.program.name!r} has no digest {name!r}; "
+                f"available: {sorted(self.program.digests)}"
+            ) from None

@@ -1,0 +1,88 @@
+"""Count-min sketch (Cormode & Muthukrishnan 2005).
+
+The paper's data plane "detects long flows using count-min sketches"
+before allocating one of the 2048 per-flow register slots (§4).  The
+sketch is ``depth`` rows of ``width`` counters; each row has its own
+hash unit.  Standard CMS guarantees: estimate >= true count, and
+``P[estimate > true + eps*N] <= delta`` for ``width = ceil(e/eps)``,
+``depth = ceil(ln(1/delta))``.
+
+``conservative`` enables conservative update (only raise the minimum
+cells), which reduces overestimation at no asymptotic cost — a common
+data-plane refinement and one of our ablation knobs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.netsim.packet import FiveTuple
+from repro.p4.hashes import HashEngine, pack_five_tuple
+
+
+class CountMinSketch:
+    def __init__(
+        self,
+        width: int = 4096,
+        depth: int = 3,
+        conservative: bool = False,
+        algorithm: str = "crc32",
+    ) -> None:
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        self.conservative = conservative
+        self._rows = np.zeros((depth, width), dtype=np.uint64)
+        self._hashes = [HashEngine(width, algorithm=algorithm, salt=row) for row in range(depth)]
+
+    # -- data-plane operations ----------------------------------------------
+
+    def _indices(self, key: bytes) -> list[int]:
+        return [h.index(key) for h in self._hashes]
+
+    def update(self, key: bytes, amount: int = 1) -> int:
+        """Add ``amount``; returns the post-update estimate."""
+        if amount < 0:
+            raise ValueError("CMS is additive-only")
+        idx = self._indices(key)
+        if self.conservative:
+            current = min(int(self._rows[r, i]) for r, i in enumerate(idx))
+            target = current + amount
+            for r, i in enumerate(idx):
+                if self._rows[r, i] < target:
+                    self._rows[r, i] = target
+            return target
+        est = None
+        for r, i in enumerate(idx):
+            v = int(self._rows[r, i]) + amount
+            self._rows[r, i] = v
+            est = v if est is None else min(est, v)
+        return int(est)
+
+    def query(self, key: bytes) -> int:
+        return min(int(self._rows[r, i]) for r, i in enumerate(self._indices(key)))
+
+    def update_tuple(self, ft: FiveTuple, amount: int = 1) -> int:
+        return self.update(pack_five_tuple(ft), amount)
+
+    def query_tuple(self, ft: FiveTuple) -> int:
+        return self.query(pack_five_tuple(ft))
+
+    # -- control-plane operations ---------------------------------------------
+
+    def clear(self) -> None:
+        self._rows[:] = 0
+
+    def total(self) -> int:
+        """Total inserted amount (row sums are all equal in plain mode)."""
+        return int(self._rows[0].sum())
+
+    def error_bound(self, confidence_rows: Iterable[int] | None = None) -> float:
+        """The classical additive error bound e/width * N."""
+        return float(np.e / self.width * self.total())
+
+    def memory_cells(self) -> int:
+        return self.width * self.depth

@@ -1,0 +1,181 @@
+"""Match-action tables.
+
+The control-plane-populated lookup structures of a P4 pipeline.  Supported
+match kinds: exact, LPM, ternary (value/mask, priority ordered), and
+range.  An entry binds matched keys to an action (a Python callable
+standing in for a compiled action) plus action data.
+
+Lookup cost is O(entries) for ternary/range (as in a TCAM, which *is* a
+parallel scan) and O(1) for exact.  The monitor program uses an exact
+table for protocol dispatch and a ternary table for TCP packet-type
+classification; experiments also use tables to suppress/select flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class MatchKind(Enum):
+    EXACT = "exact"
+    LPM = "lpm"
+    TERNARY = "ternary"
+    RANGE = "range"
+
+
+@dataclass(frozen=True)
+class exact:
+    value: int
+
+
+@dataclass(frozen=True)
+class lpm:
+    value: int
+    prefix_len: int
+    width_bits: int = 32
+
+
+@dataclass(frozen=True)
+class ternary:
+    value: int
+    mask: int
+
+
+@dataclass(frozen=True)
+class range_match:
+    low: int
+    high: int  # inclusive
+
+
+MatchSpec = Any  # one of the dataclasses above
+
+
+@dataclass
+class TableEntry:
+    keys: Tuple[MatchSpec, ...]
+    action: Callable[..., Any]
+    action_data: tuple = ()
+    priority: int = 0
+    hits: int = 0
+
+    def matches(self, values: Sequence[int]) -> bool:
+        for spec, v in zip(self.keys, values):
+            if isinstance(spec, exact):
+                if v != spec.value:
+                    return False
+            elif isinstance(spec, lpm):
+                shift = spec.width_bits - spec.prefix_len
+                if (v >> shift) != (spec.value >> shift):
+                    return False
+            elif isinstance(spec, ternary):
+                if (v & spec.mask) != (spec.value & spec.mask):
+                    return False
+            elif isinstance(spec, range_match):
+                if not spec.low <= v <= spec.high:
+                    return False
+            else:
+                raise TypeError(f"unknown match spec {spec!r}")
+        return True
+
+
+class MatchActionTable:
+    """A single P4 table: keys described by ``match_kinds``, entries added
+    by the control plane, a default action for misses."""
+
+    def __init__(
+        self,
+        name: str,
+        match_kinds: Sequence[MatchKind],
+        default_action: Optional[Callable[..., Any]] = None,
+        default_action_data: tuple = (),
+        max_entries: int = 1024,
+    ) -> None:
+        self.name = name
+        self.match_kinds = tuple(match_kinds)
+        self.default_action = default_action
+        self.default_action_data = default_action_data
+        self.max_entries = max_entries
+        self._entries: List[TableEntry] = []
+        self._exact_index: Optional[Dict[tuple, TableEntry]] = (
+            {} if all(k is MatchKind.EXACT for k in self.match_kinds) else None
+        )
+        self.misses = 0
+        self.lookups = 0
+
+    # -- control plane -----------------------------------------------------------
+
+    def _check_specs(self, keys: Tuple[MatchSpec, ...]) -> None:
+        if len(keys) != len(self.match_kinds):
+            raise ValueError(
+                f"table {self.name}: expected {len(self.match_kinds)} keys, got {len(keys)}"
+            )
+        expected = {
+            MatchKind.EXACT: exact,
+            MatchKind.LPM: lpm,
+            MatchKind.TERNARY: ternary,
+            MatchKind.RANGE: range_match,
+        }
+        for kind, spec in zip(self.match_kinds, keys):
+            if not isinstance(spec, expected[kind]):
+                raise TypeError(
+                    f"table {self.name}: key {spec!r} does not match kind {kind.value}"
+                )
+
+    def insert(
+        self,
+        keys: Tuple[MatchSpec, ...],
+        action: Callable[..., Any],
+        action_data: tuple = (),
+        priority: int = 0,
+    ) -> TableEntry:
+        self._check_specs(keys)
+        if len(self._entries) >= self.max_entries:
+            raise RuntimeError(f"table {self.name} is full ({self.max_entries} entries)")
+        entry = TableEntry(keys=keys, action=action, action_data=action_data, priority=priority)
+        self._entries.append(entry)
+        # Highest priority first; stable within equal priorities.
+        self._entries.sort(key=lambda e: -e.priority)
+        if self._exact_index is not None:
+            k = tuple(spec.value for spec in keys)
+            if k in self._exact_index:
+                self._entries.remove(entry)
+                raise ValueError(f"table {self.name}: duplicate exact entry {k}")
+            self._exact_index[k] = entry
+        return entry
+
+    def remove(self, entry: TableEntry) -> None:
+        self._entries.remove(entry)
+        if self._exact_index is not None:
+            k = tuple(spec.value for spec in entry.keys)
+            self._exact_index.pop(k, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        if self._exact_index is not None:
+            self._exact_index.clear()
+
+    @property
+    def entries(self) -> List[TableEntry]:
+        return list(self._entries)
+
+    # -- data plane ---------------------------------------------------------------
+
+    def apply(self, *values: int) -> Any:
+        """Look up ``values``; run the matching (or default) action."""
+        self.lookups += 1
+        if self._exact_index is not None:
+            entry = self._exact_index.get(tuple(values))
+            if entry is not None:
+                entry.hits += 1
+                return entry.action(*entry.action_data)
+        else:
+            for entry in self._entries:
+                if entry.matches(values):
+                    entry.hits += 1
+                    return entry.action(*entry.action_data)
+        self.misses += 1
+        if self.default_action is not None:
+            return self.default_action(*self.default_action_data)
+        return None

@@ -1,0 +1,38 @@
+"""perfSONAR substrate (Fig. 2's architecture, scoped to what the paper
+integrates with).
+
+- :mod:`repro.perfsonar.tools` — the Tools layer: iperf3 / ping / loss
+  measurements run *actively* over the simulator between perfSONAR nodes;
+- :mod:`repro.perfsonar.pscheduler` — periodic test scheduling;
+- :mod:`repro.perfsonar.psconfig` — the configuration layer, including
+  the paper's ``config-P4`` command extension (Fig. 6);
+- :mod:`repro.perfsonar.logstash` — the data-processing pipeline of
+  Fig. 7: TCP input plugin → filters → OpenSearch output plugin;
+- :mod:`repro.perfsonar.opensearch` — an in-memory OpenSearch-like
+  document store with index/search/aggregation;
+- :mod:`repro.perfsonar.archiver` — glues the control plane's Report_v1
+  stream through Logstash into OpenSearch;
+- :mod:`repro.perfsonar.node` — a perfSONAR node combining all of the
+  above, used both standalone (the 'regular perfSONAR' baseline of
+  Table 1) and P4-enhanced.
+"""
+
+from repro.perfsonar.opensearch import OpenSearchStore
+from repro.perfsonar.logstash import LogstashPipeline, TcpInputPlugin, OpenSearchOutputPlugin
+from repro.perfsonar.archiver import Archiver
+from repro.perfsonar.psconfig import PSConfig, ConfigP4Command
+from repro.perfsonar.pscheduler import PScheduler, TestSpec
+from repro.perfsonar.node import PerfSonarNode
+
+__all__ = [
+    "OpenSearchStore",
+    "LogstashPipeline",
+    "TcpInputPlugin",
+    "OpenSearchOutputPlugin",
+    "Archiver",
+    "PSConfig",
+    "ConfigP4Command",
+    "PScheduler",
+    "TestSpec",
+    "PerfSonarNode",
+]

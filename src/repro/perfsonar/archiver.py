@@ -1,0 +1,72 @@
+"""The perfSONAR archiver, assembled per Fig. 7:
+
+control plane → (TCP input plugin) → Logstash filters → (OpenSearch
+output plugin) → OpenSearch store.
+
+:meth:`Archiver.sink` is the report sink handed to
+:class:`~repro.core.control_plane.MonitorControlPlane`; the query helpers
+are what a Grafana dashboard would issue against the archive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.perfsonar.logstash import (
+    LogstashPipeline,
+    OpenSearchOutputPlugin,
+    TcpInputPlugin,
+    opensearch_metadata_filter,
+)
+from repro.perfsonar.opensearch import OpenSearchStore
+
+
+class Archiver:
+    def __init__(self, store: Optional[OpenSearchStore] = None,
+                 index_prefix: str = "pscheduler") -> None:
+        self.store = store or OpenSearchStore()
+        self.pipeline = LogstashPipeline("archiver")
+        self.pipeline.add_filter(opensearch_metadata_filter)
+        self.output = OpenSearchOutputPlugin(self.store, index_prefix=index_prefix)
+        self.pipeline.add_output(self.output)
+        self.tcp_input = TcpInputPlugin(self.pipeline)
+        self.index_prefix = index_prefix
+
+    # The control-plane report sink (accepts Report_v1 dicts).
+    def sink(self, report: dict) -> None:
+        self.tcp_input.ingest(report)
+
+    # -- dashboard-style queries -----------------------------------------------
+
+    def _index(self, kind: str) -> str:
+        return f"{self.index_prefix}-{kind}"
+
+    def series(self, kind: str, flow_id: Optional[int] = None,
+               value_field: str = "value") -> List[tuple]:
+        term = {"flow_id": flow_id} if flow_id is not None else None
+        return self.store.series(self._index(kind), value_field=value_field, term=term)
+
+    def documents(self, kind: str, **terms) -> List[dict]:
+        return self.store.search(self._index(kind), term=terms or None)
+
+    def count(self, kind: str) -> int:
+        return self.store.count(self._index(kind))
+
+    def flow_ids(self, kind: str) -> List[int]:
+        seen: Dict[int, None] = {}
+        for doc in self.store.search(self._index(kind)):
+            fid = doc.get("flow_id")
+            if fid is not None:
+                seen.setdefault(fid, None)
+        return list(seen)
+
+    def apply_retention(self, policy, now_s: float) -> int:
+        """Run a :class:`~repro.perfsonar.opensearch.RetentionPolicy`
+        over every raw index (skips the -longterm companions).  Returns
+        total raw documents pruned."""
+        pruned = 0
+        for index in list(self.store.indices):
+            if index.endswith("-longterm"):
+                continue
+            pruned += policy.apply(self.store, index, now_s)
+        return pruned

@@ -1,0 +1,180 @@
+"""The Logstash data-processing pipeline of Fig. 7.
+
+"Logstash ingests the data through the input plugins, transforms and
+processes it through the filters, and ships it to the database through
+the OpenSearch output plugin."
+
+The control plane's structured reports (Report_v1) enter through the
+:class:`TcpInputPlugin`; filters add the metadata OpenSearch requires
+(producing Report_v2) or perform perfSONAR's default aggregation; the
+:class:`OpenSearchOutputPlugin` writes to the archive.
+
+The default perfSONAR 5 behaviour the paper criticises — collapsing a
+test's samples into a single aggregate value — is modelled by
+:class:`AggregateTestFilter`, used by the *regular* perfSONAR node's
+pipeline (Table 1's granularity comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.perfsonar.opensearch import OpenSearchStore
+
+FilterFn = Callable[[dict], Optional[dict]]
+
+
+class LogstashPipeline:
+    """inputs → filters (in order, None drops the event) → outputs."""
+
+    def __init__(self, name: str = "perfsonar") -> None:
+        self.name = name
+        self.filters: List[FilterFn] = []
+        self.outputs: List[Callable[[dict], None]] = []
+        self.events_in = 0
+        self.events_out = 0
+        self.events_dropped = 0
+
+    def add_filter(self, fn: FilterFn) -> None:
+        self.filters.append(fn)
+
+    def add_output(self, fn: Callable[[dict], None]) -> None:
+        self.outputs.append(fn)
+
+    def process(self, event: dict) -> Optional[dict]:
+        self.events_in += 1
+        doc: Optional[dict] = dict(event)
+        for fn in self.filters:
+            doc = fn(doc)
+            if doc is None:
+                self.events_dropped += 1
+                return None
+        for out in self.outputs:
+            out(doc)
+        self.events_out += 1
+        return doc
+
+
+class TcpInputPlugin:
+    """The TCP input plugin the proposed system uses to connect the
+    switch control plane to Logstash (§3.3.5).  ``ingest`` models a
+    newline-delimited JSON message arriving on the socket."""
+
+    def __init__(self, pipeline: LogstashPipeline, port: int = 5044) -> None:
+        self.pipeline = pipeline
+        self.port = port
+        self.messages = 0
+
+    def ingest(self, event: dict) -> Optional[dict]:
+        self.messages += 1
+        return self.pipeline.process(event)
+
+    # Callable so it can be handed around as a plain report sink.
+    __call__ = ingest
+
+
+class OpenSearchOutputPlugin:
+    """Routes each event to an index chosen by its ``type`` field."""
+
+    def __init__(
+        self,
+        store: OpenSearchStore,
+        index_prefix: str = "pscheduler",
+        index_field: str = "type",
+    ) -> None:
+        self.store = store
+        self.index_prefix = index_prefix
+        self.index_field = index_field
+        self.documents_written = 0
+
+    def __call__(self, event: dict) -> None:
+        kind = event.get(self.index_field, "unknown")
+        self.store.index(f"{self.index_prefix}-{kind}", event)
+        self.documents_written += 1
+
+
+# -- stock filters -------------------------------------------------------------
+
+
+def opensearch_metadata_filter(event: dict) -> dict:
+    """The metadata OpenSearch requires (Report_v1 → Report_v2)."""
+    out = dict(event)
+    out.setdefault("@version", "1")
+    out.setdefault("host", "p4-controlplane")
+    out.setdefault("tags", []).append("p4-perfsonar")
+    return out
+
+
+def make_type_filter(allowed: List[str]) -> FilterFn:
+    """Keep only events whose ``type`` is in ``allowed``."""
+
+    def fn(event: dict) -> Optional[dict]:
+        return event if event.get("type") in allowed else None
+
+    return fn
+
+
+class ThrottleFilter:
+    """Rate-limit events per key (Logstash's ``throttle`` filter).
+
+    At most ``max_events`` events whose key fields match are let through
+    per ``period_s`` window; the rest are dropped (alert storms from a
+    flapping threshold are the motivating case).  Windows are keyed on
+    the event's ``@timestamp``.
+    """
+
+    def __init__(self, key_fields: List[str], max_events: int = 5,
+                 period_s: float = 60.0,
+                 time_field: str = "@timestamp") -> None:
+        if max_events <= 0 or period_s <= 0:
+            raise ValueError("max_events and period_s must be positive")
+        self.key_fields = list(key_fields)
+        self.max_events = max_events
+        self.period_s = period_s
+        self.time_field = time_field
+        self._windows: Dict[tuple, tuple] = {}  # key -> (window_start, count)
+        self.throttled = 0
+
+    def __call__(self, event: dict) -> Optional[dict]:
+        ts = float(event.get(self.time_field, 0.0))
+        key = tuple(event.get(f) for f in self.key_fields)
+        start, count = self._windows.get(key, (ts, 0))
+        if ts - start >= self.period_s:
+            start, count = ts, 0
+        if count >= self.max_events:
+            self._windows[key] = (start, count)
+            self.throttled += 1
+            return None
+        self._windows[key] = (start, count + 1)
+        return event
+
+
+class AggregateTestFilter:
+    """perfSONAR's default Logstash behaviour (§2.3): reduce a test's
+    interval samples to summary statistics.
+
+    For throughput: only the average is reported.  For RTT: min, max and
+    mean.  Events of other types pass through unchanged.
+    """
+
+    def __init__(self) -> None:
+        self.collapsed = 0
+
+    def __call__(self, event: dict) -> Optional[dict]:
+        etype = event.get("type")
+        if etype == "throughput" and "intervals" in event:
+            values = [s["throughput_bps"] for s in event["intervals"]]
+            out = {k: v for k, v in event.items() if k != "intervals"}
+            out["value"] = sum(values) / len(values) if values else 0.0
+            self.collapsed += 1
+            return out
+        if etype == "rtt" and "samples_ms" in event:
+            samples = event["samples_ms"]
+            out = {k: v for k, v in event.items() if k != "samples_ms"}
+            if samples:
+                out["min_ms"] = min(samples)
+                out["max_ms"] = max(samples)
+                out["mean_ms"] = sum(samples) / len(samples)
+            self.collapsed += 1
+            return out
+        return event

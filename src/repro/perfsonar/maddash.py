@@ -1,0 +1,114 @@
+"""A MaDDash-like measurement grid (Fig. 2 lists MaDDash in perfSONAR's
+presentation layer).
+
+MaDDash renders a source × destination matrix of latest test results with
+OK / DEGRADED / CRITICAL cells.  :class:`MadDashGrid` builds that matrix
+from an archive, applying per-metric thresholds, and renders it as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.netsim.packet import int_to_ip
+from repro.perfsonar.archiver import Archiver
+from repro.viz import render_table
+
+
+class CellStatus(Enum):
+    OK = "OK"
+    DEGRADED = "DEGRADED"
+    CRITICAL = "CRITICAL"
+    NO_DATA = "-"
+
+
+@dataclass
+class Thresholds:
+    """Per-metric status thresholds (same spirit as MaDDash check args)."""
+
+    # Throughput: below these fractions of expected -> degraded/critical.
+    throughput_expected_bps: float = 0.0
+    throughput_degraded_fraction: float = 0.5
+    throughput_critical_fraction: float = 0.1
+    # Loss percentage above these -> degraded/critical.
+    loss_degraded_pct: float = 0.5
+    loss_critical_pct: float = 2.0
+    # RTT above these (ms) -> degraded/critical (0 = disabled).
+    rtt_degraded_ms: float = 0.0
+    rtt_critical_ms: float = 0.0
+
+
+class MadDashGrid:
+    """Latest-result grid over the archived per-flow P4 reports."""
+
+    def __init__(self, archiver: Archiver, thresholds: Optional[Thresholds] = None) -> None:
+        self.archiver = archiver
+        self.thresholds = thresholds or Thresholds()
+
+    # -- status evaluation -------------------------------------------------------
+
+    def _latest_by_pair(self, kind: str) -> Dict[Tuple[str, str], float]:
+        latest: Dict[Tuple[str, str], Tuple[float, float]] = {}
+        for doc in self.archiver.documents(kind):
+            src = doc.get("source_ip")
+            dst = doc.get("destination_ip")
+            ts = doc.get("@timestamp", 0.0)
+            if src is None or dst is None or "value" not in doc:
+                continue
+            key = (src, dst)
+            if key not in latest or ts > latest[key][0]:
+                latest[key] = (ts, doc["value"])
+        return {k: v for k, (_, v) in latest.items()}
+
+    def throughput_status(self, value_bps: float) -> CellStatus:
+        expected = self.thresholds.throughput_expected_bps
+        if expected <= 0:
+            return CellStatus.OK
+        if value_bps < self.thresholds.throughput_critical_fraction * expected:
+            return CellStatus.CRITICAL
+        if value_bps < self.thresholds.throughput_degraded_fraction * expected:
+            return CellStatus.DEGRADED
+        return CellStatus.OK
+
+    def loss_status(self, pct: float) -> CellStatus:
+        if pct > self.thresholds.loss_critical_pct:
+            return CellStatus.CRITICAL
+        if pct > self.thresholds.loss_degraded_pct:
+            return CellStatus.DEGRADED
+        return CellStatus.OK
+
+    def rtt_status(self, ms: float) -> CellStatus:
+        if self.thresholds.rtt_critical_ms and ms > self.thresholds.rtt_critical_ms:
+            return CellStatus.CRITICAL
+        if self.thresholds.rtt_degraded_ms and ms > self.thresholds.rtt_degraded_ms:
+            return CellStatus.DEGRADED
+        return CellStatus.OK
+
+    # -- grid construction ---------------------------------------------------------
+
+    def build(self, kind: str = "p4_throughput") -> Dict[Tuple[str, str], CellStatus]:
+        latest = self._latest_by_pair(kind)
+        status_fn = {
+            "p4_throughput": self.throughput_status,
+            "p4_packet_loss": self.loss_status,
+            "p4_rtt": self.rtt_status,
+        }.get(kind)
+        if status_fn is None:
+            raise ValueError(f"no thresholds defined for {kind!r}")
+        return {pair: status_fn(value) for pair, value in latest.items()}
+
+    def render(self, kind: str = "p4_throughput") -> str:
+        grid = self.build(kind)
+        if not grid:
+            return "(no data)"
+        sources = sorted({s for s, _ in grid})
+        dests = sorted({d for _, d in grid})
+        rows: List[List[str]] = []
+        for src in sources:
+            row = [src]
+            for dst in dests:
+                row.append(grid.get((src, dst), CellStatus.NO_DATA).value)
+            rows.append(row)
+        return render_table([f"{kind} src\\dst"] + dests, rows)

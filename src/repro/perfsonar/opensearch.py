@@ -1,0 +1,160 @@
+"""An in-memory OpenSearch-like document store.
+
+perfSONAR 5 archives measurements in OpenSearch; the paper's system
+reuses that archive through Logstash's OpenSearch output plugin (Fig. 7).
+This store models the slice of OpenSearch the archiver uses: named
+indices of JSON documents, term/range queries, sort, and the handful of
+metric aggregations dashboards ask for.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Optional
+
+import numpy as np
+
+
+class RetentionPolicy:
+    """Short-term/long-term retention, as in the OSG network-monitoring
+    platform the paper cites: raw documents are kept for
+    ``short_term_s``; beyond that they are downsampled into
+    ``long_term_bucket_s`` averages in a companion ``<index>-longterm``
+    index (one document per bucket per flow), then pruned.
+    """
+
+    def __init__(self, short_term_s: float = 3600.0,
+                 long_term_bucket_s: float = 60.0,
+                 value_field: str = "value",
+                 time_field: str = "@timestamp") -> None:
+        if short_term_s <= 0 or long_term_bucket_s <= 0:
+            raise ValueError("retention windows must be positive")
+        self.short_term_s = short_term_s
+        self.long_term_bucket_s = long_term_bucket_s
+        self.value_field = value_field
+        self.time_field = time_field
+
+    def apply(self, store: "OpenSearchStore", index: str, now_s: float) -> int:
+        """Downsample+prune documents older than the short-term window.
+        Returns the number of raw documents pruned."""
+        docs = store._indices.get(index, [])
+        cutoff = now_s - self.short_term_s
+        old = [d for d in docs if d.get(self.time_field, 0.0) < cutoff]
+        if not old:
+            return 0
+        buckets: Dict[tuple, List[dict]] = {}
+        for d in old:
+            bucket = int(d.get(self.time_field, 0.0) // self.long_term_bucket_s)
+            key = (bucket, d.get("flow_id"))
+            buckets.setdefault(key, []).append(d)
+        for (bucket, flow_id), members in sorted(buckets.items()):
+            values = [m[self.value_field] for m in members if self.value_field in m]
+            if not values:
+                continue
+            store.index(f"{index}-longterm", {
+                self.time_field: bucket * self.long_term_bucket_s,
+                "flow_id": flow_id,
+                self.value_field: sum(values) / len(values),
+                "samples": len(values),
+                "downsampled": True,
+            })
+        store._indices[index] = [
+            d for d in docs if d.get(self.time_field, 0.0) >= cutoff
+        ]
+        return len(old)
+
+
+class OpenSearchStore:
+    def __init__(self) -> None:
+        self._indices: Dict[str, List[dict]] = {}
+        self._ids = itertools.count(1)
+
+    # -- document API ---------------------------------------------------------
+
+    def index(self, index: str, document: dict) -> str:
+        """Store a document; returns its assigned ``_id``."""
+        doc_id = str(next(self._ids))
+        stored = dict(document)
+        stored["_id"] = doc_id
+        stored["_index"] = index
+        self._indices.setdefault(index, []).append(stored)
+        return doc_id
+
+    def get(self, index: str, doc_id: str) -> Optional[dict]:
+        for doc in self._indices.get(index, ()):
+            if doc["_id"] == doc_id:
+                return dict(doc)
+        return None
+
+    def count(self, index: str) -> int:
+        return len(self._indices.get(index, ()))
+
+    @property
+    def indices(self) -> List[str]:
+        return sorted(self._indices)
+
+    def delete_index(self, index: str) -> None:
+        self._indices.pop(index, None)
+
+    # -- query API -----------------------------------------------------------
+
+    def search(
+        self,
+        index: str,
+        term: Optional[Dict[str, Any]] = None,
+        time_range: Optional[tuple] = None,
+        time_field: str = "@timestamp",
+        sort_field: Optional[str] = None,
+        size: Optional[int] = None,
+    ) -> List[dict]:
+        """Filter by exact-match terms and an inclusive [lo, hi] range on
+        ``time_field``; optionally sort and truncate."""
+        docs: Iterable[dict] = self._indices.get(index, ())
+        if term:
+            docs = [d for d in docs if all(d.get(k) == v for k, v in term.items())]
+        if time_range is not None:
+            lo, hi = time_range
+            docs = [d for d in docs if lo <= d.get(time_field, float("-inf")) <= hi]
+        docs = list(docs)
+        if sort_field is not None:
+            docs.sort(key=lambda d: d.get(sort_field, 0))
+        if size is not None:
+            docs = docs[:size]
+        return [dict(d) for d in docs]
+
+    def aggregate(
+        self,
+        index: str,
+        field: str,
+        agg: str,
+        term: Optional[Dict[str, Any]] = None,
+    ) -> float:
+        """min/max/avg/sum/count/p95 over a numeric field."""
+        docs = self.search(index, term=term)
+        values = np.array([d[field] for d in docs if field in d], dtype=float)
+        if values.size == 0:
+            return 0.0
+        if agg == "min":
+            return float(values.min())
+        if agg == "max":
+            return float(values.max())
+        if agg == "avg":
+            return float(values.mean())
+        if agg == "sum":
+            return float(values.sum())
+        if agg == "count":
+            return float(values.size)
+        if agg == "p95":
+            return float(np.percentile(values, 95))
+        raise ValueError(f"unknown aggregation {agg!r}")
+
+    def series(
+        self,
+        index: str,
+        value_field: str = "value",
+        time_field: str = "@timestamp",
+        term: Optional[Dict[str, Any]] = None,
+    ) -> List[tuple]:
+        """(time, value) pairs sorted by time — dashboard-style fetch."""
+        docs = self.search(index, term=term, sort_field=time_field)
+        return [(d[time_field], d[value_field]) for d in docs if value_field in d]

@@ -1,0 +1,148 @@
+"""pSConfig with the paper's ``config-P4`` extension (§3.3.5, Fig. 6).
+
+The added command lets a perfSONAR node configure the programmable
+switch's control plane at run time::
+
+    psconfig config-P4 --metric throughput --samples_per_second 1
+    psconfig config-P4 --metric RTT --samples_per_second 2
+    psconfig config-P4 --metric queue_occupancy --alert --threshold 30 \
+        --samples_per_second 10
+
+Semantics, as the paper specifies them:
+
+- ``--metric`` selects which metric the settings apply to; omitting it
+  applies the configuration to **all** metrics;
+- ``--samples_per_second`` sets the control-plane report rate; when
+  ``--alert`` is present it sets the *boosted* rate used while the
+  threshold is exceeded (Fig. 6 line 3: "the rate of queue occupancy
+  reports will be set to 10 reports per second if the queue occupancy
+  exceeds 30%");
+- ``--threshold`` (with ``--alert``) arms the alert.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shlex
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import MetricKind
+from repro.core.control_plane import MonitorControlPlane
+
+
+@dataclass
+class ConfigP4Command:
+    """A parsed ``config-P4`` invocation."""
+
+    metrics: List[MetricKind]
+    samples_per_second: Optional[float] = None
+    alert: bool = False
+    threshold: Optional[float] = None
+
+    def apply(self, control_plane: MonitorControlPlane) -> None:
+        for kind in self.metrics:
+            if self.alert:
+                control_plane.apply_metric_config(
+                    kind,
+                    alert_enabled=True,
+                    alert_threshold=self.threshold,
+                    boosted_samples_per_second=self.samples_per_second,
+                )
+            elif self.samples_per_second is not None:
+                control_plane.apply_metric_config(
+                    kind, samples_per_second=self.samples_per_second
+                )
+
+    def describe(self) -> dict:
+        return {
+            "command": "config-P4",
+            "metrics": [k.value for k in self.metrics],
+            "samples_per_second": self.samples_per_second,
+            "alert": self.alert,
+            "threshold": self.threshold,
+        }
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="psconfig",
+        description="pSConfig with the config-P4 extension",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p4 = sub.add_parser("config-P4", help="configure the P4 switch control plane")
+    p4.add_argument(
+        "--metric",
+        choices=[k.value for k in MetricKind] + ["RTT"],
+        help="metric to configure (default: all metrics)",
+    )
+    p4.add_argument("--samples_per_second", type=float, default=None)
+    p4.add_argument("--alert", action="store_true",
+                    help="arm an alert; --samples_per_second then sets the boosted rate")
+    p4.add_argument("--threshold", type=float, default=None,
+                    help="alert threshold (metric units)")
+    return parser
+
+
+class PSConfig:
+    """The configuration layer of a perfSONAR node.
+
+    ``run("config-P4 --metric RTT --samples_per_second 2")`` parses the
+    Fig. 6 syntax and applies it to the attached control plane.
+    """
+
+    def __init__(self, control_plane: Optional[MonitorControlPlane] = None) -> None:
+        self.control_plane = control_plane
+        self.history: List[ConfigP4Command] = []
+        self._parser = _build_parser()
+
+    def attach(self, control_plane: MonitorControlPlane) -> None:
+        self.control_plane = control_plane
+
+    def parse(self, argv: Sequence[str] | str) -> ConfigP4Command:
+        if isinstance(argv, str):
+            argv = shlex.split(argv)
+        ns = self._parser.parse_args(list(argv))
+        if ns.command != "config-P4":  # pragma: no cover - argparse enforces
+            raise ValueError(f"unknown command {ns.command!r}")
+        if ns.alert and ns.threshold is None:
+            self._parser.error("--alert requires --threshold")
+        if not ns.alert and ns.samples_per_second is None:
+            self._parser.error("specify --samples_per_second (or --alert with --threshold)")
+        metrics = (
+            [MetricKind.from_cli(ns.metric)] if ns.metric else list(MetricKind)
+        )
+        return ConfigP4Command(
+            metrics=metrics,
+            samples_per_second=ns.samples_per_second,
+            alert=ns.alert,
+            threshold=ns.threshold,
+        )
+
+    def run(self, argv: Sequence[str] | str) -> ConfigP4Command:
+        cmd = self.parse(argv)
+        if self.control_plane is None:
+            raise RuntimeError("no control plane attached to pSConfig")
+        cmd.apply(self.control_plane)
+        self.history.append(cmd)
+        return cmd
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point: parses a config-P4 command line and prints the
+    resulting configuration action as JSON (a dry run against no live
+    switch)."""
+    psc = PSConfig()
+    try:
+        cmd = psc.parse(list(argv) if argv is not None else sys.argv[1:])
+    except SystemExit as exc:  # argparse signals usage errors this way
+        return int(exc.code or 0)
+    json.dump(cmd.describe(), sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

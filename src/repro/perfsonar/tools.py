@@ -1,0 +1,235 @@
+"""The perfSONAR Tools layer: active measurements over the simulator.
+
+These are the instruments a *regular* perfSONAR node has (iPerf3, ping,
+an OWAMP-like loss probe).  They inject traffic — which is exactly the
+overhead/representativeness limitation Table 1 contrasts with the
+passive P4 system.
+
+All results are returned as Report-style dicts carrying full samples;
+whether the archive keeps the samples or only aggregates is decided by
+the node's Logstash filters (perfSONAR's default aggregates).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.netsim.engine import Simulator
+from repro.netsim.host import Host
+from repro.netsim.packet import Packet
+from repro.netsim.units import NS_PER_S, seconds
+from repro.tcp.apps import Iperf3Client, Iperf3Server
+from repro.tcp.stack import TcpHostStack
+
+PROTO_ICMP = 1
+ECHO_REQUEST = 8   # carried in src_port, mirroring the ICMP type field
+ECHO_REPLY = 0
+
+
+class EchoAgent:
+    """ICMP-echo-like responder/prober bound to proto 1 on a host."""
+
+    def __init__(self, sim: Simulator, host: Host) -> None:
+        self.sim = sim
+        self.host = host
+        self._pending: Dict[int, int] = {}     # echo id -> send time
+        self._replies: Dict[int, int] = {}     # echo id -> rtt_ns
+        self._ids = itertools.count(1)
+        host.register_proto(PROTO_ICMP, self)
+
+    def deliver(self, pkt: Packet) -> None:
+        if pkt.src_port == ECHO_REQUEST:
+            reply = Packet(
+                src_ip=self.host.ip,
+                dst_ip=pkt.src_ip,
+                src_port=ECHO_REPLY,
+                dst_port=0,
+                seq=pkt.seq,
+                proto=PROTO_ICMP,
+                payload_len=pkt.payload_len,
+                created_ns=self.sim.now,
+            )
+            self.host.send(reply)
+        elif pkt.src_port == ECHO_REPLY:
+            sent = self._pending.pop(pkt.seq, None)
+            if sent is not None:
+                self._replies[pkt.seq] = self.sim.now - sent
+
+    def probe(self, dst_ip: int, payload_len: int = 64) -> int:
+        """Send one echo request; returns its id."""
+        echo_id = next(self._ids)
+        self._pending[echo_id] = self.sim.now
+        self.host.send(
+            Packet(
+                src_ip=self.host.ip,
+                dst_ip=dst_ip,
+                src_port=ECHO_REQUEST,
+                dst_port=0,
+                seq=echo_id,
+                proto=PROTO_ICMP,
+                payload_len=payload_len,
+                created_ns=self.sim.now,
+            )
+        )
+        return echo_id
+
+    def rtt_of(self, echo_id: int) -> Optional[int]:
+        return self._replies.get(echo_id)
+
+
+@dataclass
+class ToolResult:
+    """Completion record handed to the scheduler's callback."""
+
+    document: dict
+
+
+class PingTool:
+    """N paced echo probes; reports per-probe RTT samples and loss."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        agent: EchoAgent,
+        dst_ip: int,
+        count: int = 10,
+        interval_ns: int = seconds(0.2),
+        on_done: Optional[Callable[[ToolResult], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.agent = agent
+        self.dst_ip = dst_ip
+        self.count = count
+        self.interval_ns = interval_ns
+        self.on_done = on_done
+        self._sent_ids: List[int] = []
+        self._remaining = count
+
+    def start(self) -> None:
+        self._send_next()
+
+    def _send_next(self) -> None:
+        if self._remaining <= 0:
+            # Allow one extra interval for the last reply to land.
+            self.sim.after(self.interval_ns, self._finish)
+            return
+        self._remaining -= 1
+        self._sent_ids.append(self.agent.probe(self.dst_ip))
+        self.sim.after(self.interval_ns, self._send_next)
+
+    def _finish(self) -> None:
+        samples_ms = [
+            self.agent.rtt_of(i) / 1e6
+            for i in self._sent_ids
+            if self.agent.rtt_of(i) is not None
+        ]
+        lost = sum(1 for i in self._sent_ids if self.agent.rtt_of(i) is None)
+        doc = {
+            "type": "rtt",
+            "@timestamp": self.sim.now / NS_PER_S,
+            "tool": "ping",
+            "destination_ip": self.dst_ip,
+            "samples_ms": samples_ms,
+            "sent": len(self._sent_ids),
+            "lost": lost,
+        }
+        if self.on_done is not None:
+            self.on_done(ToolResult(doc))
+
+
+class Iperf3Tool:
+    """An active throughput test between two perfSONAR nodes.
+
+    Injects a real TCP transfer (the paper's point: active tests consume
+    network resources and perturb the very traffic being diagnosed).
+    """
+
+    _ports = itertools.count(5301)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src_stack: TcpHostStack,
+        dst_stack: TcpHostStack,
+        dst_ip: int,
+        duration_s: float = 5.0,
+        on_done: Optional[Callable[[ToolResult], None]] = None,
+        cc: str = "cubic",
+    ) -> None:
+        self.sim = sim
+        self.on_done = on_done
+        port = next(self._ports)
+        self.server = Iperf3Server(sim, dst_stack, port=port)
+        self.client = Iperf3Client(
+            sim,
+            src_stack,
+            server_ip=dst_ip,
+            server_port=port,
+            duration_ns=seconds(duration_s),
+            cc=cc,
+            start_ns=sim.now,
+        )
+        self.client.on_done.append(self._finish)
+
+    def start(self) -> None:
+        pass  # the client self-starts at construction
+
+    def _finish(self, client: Iperf3Client) -> None:
+        self.server.stop()
+        intervals = [
+            {"start_s": s.start_ns / NS_PER_S, "end_s": s.end_ns / NS_PER_S,
+             "throughput_bps": s.throughput_bps}
+            for s in self.server.intervals
+        ]
+        doc = {
+            "type": "throughput",
+            "@timestamp": self.sim.now / NS_PER_S,
+            "tool": "iperf3",
+            "destination_ip": client.server_ip,
+            "intervals": intervals,
+            "bytes": self.server.total_bytes,
+            "retransmits": client.stats.retransmissions,
+        }
+        if self.on_done is not None:
+            self.on_done(ToolResult(doc))
+
+
+class LossProbeTool:
+    """OWAMP-like probe: a train of small paced packets, loss counted by
+    the echo responder (unanswered probes count as lost in either
+    direction, as ping-based loss estimation does)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        agent: EchoAgent,
+        dst_ip: int,
+        count: int = 100,
+        interval_ns: int = seconds(0.01),
+        on_done: Optional[Callable[[ToolResult], None]] = None,
+    ) -> None:
+        self._ping = PingTool(
+            sim, agent, dst_ip, count=count, interval_ns=interval_ns,
+            on_done=self._finish,
+        )
+        self.on_done = on_done
+        self.sim = sim
+
+    def start(self) -> None:
+        self._ping.start()
+
+    def _finish(self, result: ToolResult) -> None:
+        src = result.document
+        doc = {
+            "type": "loss",
+            "@timestamp": src["@timestamp"],
+            "tool": "owamp",
+            "destination_ip": src["destination_ip"],
+            "sent": src["sent"],
+            "lost": src["lost"],
+            "loss_pct": 100.0 * src["lost"] / src["sent"] if src["sent"] else 0.0,
+        }
+        if self.on_done is not None:
+            self.on_done(ToolResult(doc))

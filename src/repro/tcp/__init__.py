@@ -1,0 +1,28 @@
+"""Packet-level TCP implementation and traffic applications.
+
+This is the DTN-endpoint substrate: NewReno-style loss recovery with
+pluggable congestion avoidance (Reno, CUBIC), RFC 6298 RTO estimation,
+receiver flow control (advertised window), and application-level pacing.
+Together these produce the phenomena the paper measures — fair-share
+convergence, join bursts, buffer bloat, loss-recovery sawtooths, and
+endpoint-limited plateaus (Figs. 9-12).
+"""
+
+from repro.tcp.stack import TcpHostStack, TcpConnection, ConnectionStats
+from repro.tcp.cc import CongestionControl, Reno, Cubic, make_cc
+from repro.tcp.bbr import BbrLite
+from repro.tcp.apps import Iperf3Client, Iperf3Server, start_transfer
+
+__all__ = [
+    "TcpHostStack",
+    "TcpConnection",
+    "ConnectionStats",
+    "CongestionControl",
+    "Reno",
+    "Cubic",
+    "BbrLite",
+    "make_cc",
+    "Iperf3Client",
+    "Iperf3Server",
+    "start_transfer",
+]

@@ -1,0 +1,185 @@
+"""Traffic applications: an iPerf3-like client/server pair.
+
+The paper generates all workloads with iPerf3 (§5.1).  The client supports
+both volume mode (``total_bytes``) and duration mode (``duration_ns``),
+optional application pacing (``rate_bps`` — the sender-limited knob of
+Fig. 12), and a choice of congestion control.  The server records an
+interval-by-interval goodput report, which serves as experiment ground
+truth against the P4 monitor's passive measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.netsim.engine import Simulator
+from repro.netsim.units import NS_PER_S, seconds
+from repro.tcp.stack import INFINITE_DATA, TcpConnection, TcpHostStack
+
+IPERF_PORT = 5201
+
+
+@dataclass
+class IntervalSample:
+    """One server-side reporting interval (like an iPerf3 interval line)."""
+
+    start_ns: int
+    end_ns: int
+    bytes: int
+
+    @property
+    def throughput_bps(self) -> float:
+        span = self.end_ns - self.start_ns
+        return self.bytes * 8 * NS_PER_S / span if span > 0 else 0.0
+
+
+class Iperf3Server:
+    """Listens on a port, consumes data, reports per-interval goodput."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: TcpHostStack,
+        port: int = IPERF_PORT,
+        rcv_buf_bytes: int = 4 * 1024 * 1024,
+        interval_ns: int = seconds(1),
+        delayed_ack: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.port = port
+        self.interval_ns = interval_ns
+        self.intervals: List[IntervalSample] = []
+        self.total_bytes = 0
+        self.connections: List[TcpConnection] = []
+        self._interval_bytes = 0
+        self._interval_start = sim.now
+        self._ticker = sim.after(interval_ns, self._tick)
+        stack.listen(port, rcv_buf_bytes=rcv_buf_bytes, on_accept=self._on_accept,
+                     delayed_ack=delayed_ack)
+
+    def _on_accept(self, conn: TcpConnection) -> None:
+        self.connections.append(conn)
+        conn.on_receive.append(self._on_data)
+
+    def _on_data(self, conn: TcpConnection, nbytes: int) -> None:
+        self.total_bytes += nbytes
+        self._interval_bytes += nbytes
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        self.intervals.append(IntervalSample(self._interval_start, now, self._interval_bytes))
+        self._interval_start = now
+        self._interval_bytes = 0
+        self._ticker = self.sim.after(self.interval_ns, self._tick)
+
+    def stop(self) -> None:
+        if self._ticker is not None:
+            self._ticker.cancel()
+            self._ticker = None
+
+    def throughput_series(self) -> List[Tuple[float, float]]:
+        """(interval end in seconds, Mbps) pairs — the ground-truth series."""
+        return [(s.end_ns / NS_PER_S, s.throughput_bps / 1e6) for s in self.intervals]
+
+
+class Iperf3Client:
+    """Drives one TCP transfer toward an :class:`Iperf3Server`.
+
+    Exactly one of ``total_bytes`` / ``duration_ns`` bounds the transfer
+    (duration mode matches the paper's tests).  ``rate_bps`` paces the
+    application below the path capacity — the Fig. 12 sender-limited case.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: TcpHostStack,
+        server_ip: int,
+        server_port: int = IPERF_PORT,
+        total_bytes: Optional[int] = None,
+        duration_ns: Optional[int] = None,
+        rate_bps: Optional[int] = None,
+        cc: str = "cubic",
+        mss: Optional[int] = None,
+        start_ns: int = 0,
+        rcv_buf_bytes: int = 4 * 1024 * 1024,
+    ) -> None:
+        if (total_bytes is None) == (duration_ns is None):
+            raise ValueError("specify exactly one of total_bytes / duration_ns")
+        self.sim = sim
+        self.stack = stack
+        self.server_ip = server_ip
+        self.server_port = server_port
+        self.total_bytes = total_bytes
+        self.duration_ns = duration_ns
+        self.rate_bps = rate_bps
+        self.cc_name = cc
+        self.mss = mss
+        self.rcv_buf_bytes = rcv_buf_bytes
+        self.conn: Optional[TcpConnection] = None
+        self.done = False
+        self.on_done: List[Callable[["Iperf3Client"], None]] = []
+        sim.at(max(start_ns, sim.now), self._start)
+
+    def _start(self) -> None:
+        self.conn = self.stack.open_connection(
+            self.server_ip,
+            self.server_port,
+            mss=self.mss,
+            cc=self.cc_name,
+            pacing_bps=self.rate_bps,
+        )
+        self.conn.on_established.append(self._on_established)
+        self.conn.on_close.append(self._on_close)
+        self.conn.connect()
+
+    def _on_established(self, conn: TcpConnection) -> None:
+        if self.total_bytes is not None:
+            conn.write(self.total_bytes)
+            conn.close()
+        else:
+            conn.write(INFINITE_DATA)
+            assert self.duration_ns is not None
+            self.sim.after(self.duration_ns, conn.close)
+
+    def _on_close(self, conn: TcpConnection) -> None:
+        self.done = True
+        for cb in self.on_done:
+            cb(self)
+
+    @property
+    def stats(self):
+        if self.conn is None:
+            raise RuntimeError("client has not started yet")
+        return self.conn.stats
+
+
+def start_transfer(
+    sim: Simulator,
+    client_stack: TcpHostStack,
+    server_stack: TcpHostStack,
+    server_ip: int,
+    port: int = IPERF_PORT,
+    duration_s: float = 10.0,
+    start_s: float = 0.0,
+    rate_bps: Optional[int] = None,
+    cc: str = "cubic",
+    mss: Optional[int] = None,
+    server_rcv_buf: int = 4 * 1024 * 1024,
+) -> Tuple[Iperf3Client, Iperf3Server]:
+    """Wire up a server + client pair for one flow (experiment helper)."""
+    server = Iperf3Server(sim, server_stack, port=port, rcv_buf_bytes=server_rcv_buf)
+    client = Iperf3Client(
+        sim,
+        client_stack,
+        server_ip=server_ip,
+        server_port=port,
+        duration_ns=seconds(duration_s),
+        rate_bps=rate_bps,
+        cc=cc,
+        mss=mss,
+        start_ns=seconds(start_s),
+    )
+    return client, server

@@ -1,0 +1,83 @@
+"""Terminal visualisation: the stand-in for the paper's Grafana panels.
+
+ASCII-only (the benchmark harness prints these next to the numeric rows),
+no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """One-line bar chart: '▁▂▃▅▇█...'"""
+    vals = list(values)
+    if not vals:
+        return ""
+    lo = min(vals) if lo is None else lo
+    hi = max(vals) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[4] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[max(0, min(idx, len(_BLOCKS) - 1))])
+    return "".join(out)
+
+
+def timeseries_panel(
+    series: Dict[str, List[Tuple[float, float]]],
+    title: str = "",
+    width: int = 72,
+    unit: str = "",
+) -> str:
+    """A Grafana-panel-like block: one sparkline row per labelled series,
+    sharing the y-scale, with min/mean/max annotations."""
+    lines: List[str] = []
+    if title:
+        lines.append(f"── {title} " + "─" * max(0, width - len(title) - 4))
+    all_vals = [v for pts in series.values() for _, v in pts]
+    if not all_vals:
+        lines.append("   (no data)")
+        return "\n".join(lines)
+    lo, hi = min(all_vals), max(all_vals)
+    label_w = max((len(k) for k in series), default=0)
+    for label, pts in series.items():
+        vals = [v for _, v in pts]
+        if not vals:
+            lines.append(f"  {label:>{label_w}} | (no data)")
+            continue
+        spark = sparkline(_resample(vals, width - label_w - 30), lo, hi)
+        mean = sum(vals) / len(vals)
+        lines.append(
+            f"  {label:>{label_w}} |{spark}| "
+            f"min {min(vals):.2f} avg {mean:.2f} max {max(vals):.2f} {unit}"
+        )
+    return "\n".join(lines)
+
+
+def _resample(values: List[float], n: int) -> List[float]:
+    """Downsample by bucket-averaging so long runs fit the panel width."""
+    if n <= 0 or len(values) <= n:
+        return values
+    out = []
+    for i in range(n):
+        lo = i * len(values) // n
+        hi = max(lo + 1, (i + 1) * len(values) // n)
+        bucket = values[lo:hi]
+        out.append(sum(bucket) / len(bucket))
+    return out
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table (the benchmark harness's row printer)."""
+    cols = [[str(h)] + [str(r[i]) for r in rows] for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in col) for col in cols]
+    def fmt(row):
+        return "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), sep] + [fmt(r) for r in rows])

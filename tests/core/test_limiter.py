@@ -1,0 +1,120 @@
+"""Flight-size tracking and the §4.4 limitation classifier."""
+
+import pytest
+
+from repro.core.config import MonitorConfig
+from repro.core.limiter import LimiterClassifier
+from repro.core.reports import LimiterVerdict
+from repro.netsim.units import millis
+
+from tests.core.helpers import FlowScript, small_monitor
+
+
+def test_flight_size_from_wire():
+    mon = small_monitor()
+    script = FlowScript(mon)
+    script.data(1, 1000, millis(1))        # high_seq = 1001
+    script.data(1001, 1000, millis(2))     # high_seq = 2001
+    script.ack(1001, millis(20))           # high_ack = 1001
+    assert mon.flight.flight_bytes(script.flow_id) == 1000
+
+
+def test_flight_zero_when_fully_acked():
+    mon = small_monitor()
+    script = FlowScript(mon)
+    script.data(1, 500, millis(1))
+    script.ack(501, millis(10))
+    assert mon.flight.flight_bytes(script.flow_id) == 0
+
+
+def test_rwnd_recorded_from_ack_direction():
+    mon = small_monitor()
+    script = FlowScript(mon)
+    script.data(1, 100, millis(1))
+    script.ack(101, millis(5), window=12345)
+    mask = mon.config.flow_slots - 1
+    assert mon.flight.flow_rwnd.read(script.flow_id & mask) == 12345
+
+
+def test_retransmission_does_not_shrink_high_seq():
+    mon = small_monitor()
+    script = FlowScript(mon)
+    script.data(1, 1000, millis(1))
+    script.data(1001, 1000, millis(2))
+    script.data(1, 1000, millis(3))  # retransmission
+    mask = mon.config.flow_slots - 1
+    assert mon.flight.high_seq.read(script.flow_id & mask) == 2001
+
+
+# -- classifier -------------------------------------------------------------
+
+
+def classifier(window=5, cv=0.15, rwnd_fraction=0.6):
+    cfg = MonitorConfig(limiter_window=window, limiter_stability_cv=cv,
+                        limiter_rwnd_fraction=rwnd_fraction)
+    return LimiterClassifier(cfg)
+
+
+def feed(clf, fid, samples):
+    for flight, loss in samples:
+        clf.observe(fid, flight, loss)
+
+
+def test_losses_mean_network_limited():
+    clf = classifier()
+    feed(clf, 1, [(100_000, 0), (150_000, 2), (120_000, 0), (140_000, 1)])
+    verdict, *_ = clf.classify(1, rwnd_bytes=4_000_000)
+    assert verdict is LimiterVerdict.NETWORK_LIMITED
+
+
+def test_stable_flight_near_rwnd_is_receiver_limited():
+    clf = classifier()
+    feed(clf, 1, [(30_000, 0)] * 6)
+    verdict, mean_flight, cv, losses = clf.classify(1, rwnd_bytes=32_768)
+    assert verdict is LimiterVerdict.RECEIVER_LIMITED
+    assert losses == 0
+    assert cv < 0.01
+
+
+def test_stable_flight_below_rwnd_is_sender_limited():
+    clf = classifier()
+    feed(clf, 1, [(10_000, 0)] * 6)
+    verdict, *_ = clf.classify(1, rwnd_bytes=4_000_000)
+    assert verdict is LimiterVerdict.SENDER_LIMITED
+
+
+def test_growing_flight_without_loss_is_probing():
+    clf = classifier()
+    feed(clf, 1, [(10_000, 0), (20_000, 0), (40_000, 0), (80_000, 0), (160_000, 0)])
+    verdict, *_ = clf.classify(1, rwnd_bytes=4_000_000)
+    assert verdict is LimiterVerdict.PROBING
+
+
+def test_insufficient_history_is_unknown():
+    clf = classifier()
+    clf.observe(1, 100, 0)
+    verdict, *_ = clf.classify(1, rwnd_bytes=1000)
+    assert verdict is LimiterVerdict.UNKNOWN
+    assert clf.classify(999, rwnd_bytes=1)[0] is LimiterVerdict.UNKNOWN
+
+
+def test_window_slides_old_losses_out():
+    clf = classifier(window=3)
+    feed(clf, 1, [(50_000, 5)])          # old loss
+    feed(clf, 1, [(50_000, 0)] * 5)      # then quiet and stable
+    verdict, *_ = clf.classify(1, rwnd_bytes=4_000_000)
+    assert verdict is LimiterVerdict.SENDER_LIMITED
+
+
+def test_forget_clears_history():
+    clf = classifier()
+    feed(clf, 1, [(50_000, 1)] * 5)
+    clf.forget(1)
+    assert clf.classify(1, rwnd_bytes=1)[0] is LimiterVerdict.UNKNOWN
+
+
+def test_verdict_is_endpoint_property():
+    assert LimiterVerdict.SENDER_LIMITED.is_endpoint
+    assert LimiterVerdict.RECEIVER_LIMITED.is_endpoint
+    assert not LimiterVerdict.NETWORK_LIMITED.is_endpoint
+    assert not LimiterVerdict.PROBING.is_endpoint

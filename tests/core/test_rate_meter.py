@@ -1,0 +1,88 @@
+"""Data-plane rate-meter alerting."""
+
+import pytest
+
+from repro.netsim.units import mbps, millis, seconds
+
+from tests.core.helpers import FlowScript, small_monitor
+
+
+def metered_monitor(**overrides):
+    return small_monitor(
+        rate_meter_enabled=True,
+        rate_meter_cir_fraction=0.2,   # 20 Mb/s of the 100 Mb/s reference
+        rate_meter_pir_fraction=0.4,   # 40 Mb/s
+        rate_meter_burst_bytes=20_000,
+        rate_meter_red_threshold=10,
+        **overrides,
+    )
+
+
+def drive_rate(script, rate_bps, duration_s, seg=1000, start_ns=1000):
+    interval_ns = int(seg * 8 * 1e9 / rate_bps)
+    n = int(seconds(duration_s) // interval_ns)
+    t = start_ns
+    seq = 1
+    for _ in range(n):
+        script.data(seq, seg, t)
+        seq += seg
+        t += interval_ns
+    return n
+
+
+def test_stage_absent_by_default():
+    assert small_monitor().rate_meter is None
+
+
+def test_compliant_flow_never_alerts():
+    mon = metered_monitor()
+    alerts = []
+    mon.runtime().subscribe_digest("rate_alert", lambda n, p: alerts.append(p))
+    script = FlowScript(mon)
+    drive_rate(script, mbps(10), duration_s=2.0)  # well under CIR
+    assert alerts == []
+    assert mon.rate_meter.meter.marked  # meter did run
+
+
+def test_violating_flow_alerts_once():
+    mon = metered_monitor()
+    alerts = []
+    mon.runtime().subscribe_digest("rate_alert", lambda n, p: alerts.append(p))
+    script = FlowScript(mon)
+    drive_rate(script, mbps(80), duration_s=2.0)  # 2x the PIR
+    assert len(alerts) == 1
+    alert = alerts[0]
+    assert alert["flow_id"] == script.flow_id
+    assert alert["red_packets"] == 10
+    assert alert["pir_bps"] == mbps(40)
+    assert mon.rate_meter.alerts_emitted == 1
+
+
+def test_red_register_keeps_counting():
+    mon = metered_monitor()
+    script = FlowScript(mon)
+    drive_rate(script, mbps(80), duration_s=2.0)
+    mask = mon.config.flow_slots - 1
+    count = mon.runtime().read_register("meter_red_count", script.flow_id & mask)
+    assert count > 10
+
+
+def test_cp_can_rearm_by_clearing_register():
+    mon = metered_monitor()
+    alerts = []
+    mon.runtime().subscribe_digest("rate_alert", lambda n, p: alerts.append(p))
+    script = FlowScript(mon)
+    n = drive_rate(script, mbps(80), duration_s=1.0)
+    mask = mon.config.flow_slots - 1
+    mon.runtime().clear_register("meter_red_count", script.flow_id & mask)
+    last_t = 1000 + n * int(1000 * 8 * 1e9 / mbps(80))
+    drive_rate(script, mbps(80), duration_s=1.0, start_ns=last_t + millis(1))
+    assert len(alerts) == 2
+
+
+def test_acks_not_metered():
+    mon = metered_monitor()
+    script = FlowScript(mon)
+    for i in range(100):
+        script.ack(1000 + i, 1000 + i * 10)
+    assert sum(mon.rate_meter.meter.marked.values()) == 0

@@ -1,0 +1,176 @@
+"""Algorithm 1: eACK RTT and sequence-regression loss counting (§4.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.units import millis
+
+from tests.core.helpers import FT, FlowScript, small_monitor
+
+
+def rtt_of(mon, script):
+    mask = mon.config.flow_slots - 1
+    return mon.rtt_loss.rtt.read(script.rev_flow_id & mask)
+
+
+def losses_of(mon, script):
+    mask = mon.config.flow_slots - 1
+    return mon.rtt_loss.pkt_loss.read(script.flow_id & mask)
+
+
+def test_data_then_matching_ack_yields_exact_rtt():
+    mon = small_monitor()
+    script = FlowScript(mon)
+    script.data(1000, 500, t_ns=millis(10))
+    script.ack(1500, t_ns=millis(60))  # eACK = 1000+500
+    assert rtt_of(mon, script) == millis(50)
+    assert mon.rtt_loss.rtt_matches == 1
+
+
+def test_rtt_stored_under_ack_direction_id():
+    """Algorithm 1 writes rtt_register[flow_ID] where flow_ID is the ACK
+    packet's own hash — i.e. the data flow's reversed ID."""
+    mon = small_monitor()
+    script = FlowScript(mon)
+    script.data(1, 100, millis(1))
+    script.ack(101, millis(21))
+    mask = mon.config.flow_slots - 1
+    assert mon.rtt_loss.rtt.read(script.rev_flow_id & mask) == millis(20)
+    # Nothing under the forward ID (unless the two indices collide).
+    if (script.flow_id & mask) != (script.rev_flow_id & mask):
+        assert mon.rtt_loss.rtt.read(script.flow_id & mask) == 0
+
+
+def test_ack_without_stash_is_a_miss():
+    mon = small_monitor()
+    script = FlowScript(mon)
+    script.ack(999, millis(5))
+    assert mon.rtt_loss.rtt_misses == 1
+    assert rtt_of(mon, script) == 0
+
+
+def test_cumulative_ack_matches_only_exact_eack():
+    """A cumulative ACK covering several segments matches the segment
+    whose eACK equals the ACK number (the last one)."""
+    mon = small_monitor()
+    script = FlowScript(mon)
+    script.data(1, 100, millis(0))
+    script.data(101, 100, millis(1))
+    script.data(201, 100, millis(2))
+    script.ack(301, millis(30))
+    assert rtt_of(mon, script) == millis(30) - millis(2)
+    assert mon.rtt_loss.rtt_matches == 1
+
+
+def test_stash_cell_consumed_by_match():
+    mon = small_monitor()
+    script = FlowScript(mon)
+    script.data(1, 100, millis(1))
+    script.ack(101, millis(11))
+    script.ack(101, millis(41))  # duplicate ACK: cell already consumed
+    assert rtt_of(mon, script) == millis(10)
+    assert mon.rtt_loss.rtt_misses == 1
+
+
+def test_sequence_regression_counts_loss():
+    mon = small_monitor()
+    script = FlowScript(mon)
+    script.data(1000, 500, millis(0))
+    script.data(1500, 500, millis(1))
+    script.data(1000, 500, millis(2))  # retransmission
+    assert losses_of(mon, script) == 1
+
+
+def test_in_order_stream_counts_no_loss():
+    mon = small_monitor()
+    script = FlowScript(mon)
+    seq = 1
+    for i in range(50):
+        script.data(seq, 100, millis(i))
+        seq += 100
+    assert losses_of(mon, script) == 0
+
+
+def test_retransmission_does_not_restash():
+    """Per Algorithm 1, the regressed packet's eACK is NOT stashed; the
+    later ACK matches the ORIGINAL timestamp (and our staleness filter
+    accepts it only if young enough)."""
+    mon = small_monitor()
+    script = FlowScript(mon)
+    script.data(1, 100, millis(1))
+    script.data(101, 100, millis(2))
+    script.data(1, 100, millis(5))      # retransmission of the first
+    script.ack(101, millis(41))
+    assert rtt_of(mon, script) == millis(40)  # measured from the original
+
+
+def test_stale_match_filtered():
+    mon = small_monitor(rtt_max_age_ns=millis(500))
+    script = FlowScript(mon)
+    script.data(1, 100, millis(0))
+    script.ack(101, millis(900))  # stale: 900 ms > 500 ms cap
+    assert rtt_of(mon, script) == 0
+    assert mon.rtt_loss.rtt_stale == 1
+
+
+def test_seq_wraparound_not_counted_as_loss():
+    mon = small_monitor()
+    script = FlowScript(mon)
+    script.data(0xFFFFFF00, 0x100, millis(0))
+    script.data(0, 100, millis(1))  # wrapped forward, in order
+    assert losses_of(mon, script) == 0
+
+
+def test_regression_across_wrap_counted():
+    mon = small_monitor()
+    script = FlowScript(mon)
+    script.data(10, 100, millis(0))
+    script.data(0xFFFFFFF0, 10, millis(1))  # regressed (pre-wrap seq)
+    assert losses_of(mon, script) == 1
+
+
+def test_rtt_count_increments():
+    mon = small_monitor()
+    script = FlowScript(mon)
+    for i in range(5):
+        script.data(1 + i * 100, 100, millis(2 * i))
+        script.ack(101 + i * 100, millis(2 * i + 1))
+    mask = mon.config.flow_slots - 1
+    assert mon.rtt_loss.rtt_count.read(script.rev_flow_id & mask) == 5
+
+
+def test_syn_packets_ignored_for_rtt():
+    from repro.netsim.packet import TCPFlags
+    mon = small_monitor()
+    script = FlowScript(mon)
+    script.data(1, 0, millis(0), flags=TCPFlags.SYN)
+    assert mon.rtt_loss.rtt_matches == 0
+    assert mon.rtt_loss.rtt_misses == 0
+
+
+def test_eviction_counter_on_collision():
+    mon = small_monitor(eack_table_size=1)  # everything collides
+    script = FlowScript(mon)
+    script.data(1, 100, millis(0))
+    script.data(101, 100, millis(1))
+    assert mon.rtt_loss.stash_evictions == 1
+
+
+@given(st.lists(st.integers(1, 400), min_size=1, max_size=30),
+       st.integers(1, 80))
+@settings(max_examples=40, deadline=None)
+def test_property_echoed_acks_measure_configured_delay(lengths, delay_ms):
+    """For a lossless scripted stream where every segment is acked after
+    exactly `delay_ms`, every RTT sample equals that delay."""
+    mon = small_monitor()
+    script = FlowScript(mon)
+    t = 1000
+    seq = 1
+    for length in lengths:
+        script.data(seq, length, t)
+        script.ack(seq + length, t + millis(delay_ms))
+        assert rtt_of(mon, script) == millis(delay_ms)
+        seq += length
+        t += millis(delay_ms) + 1000
+    assert mon.rtt_loss.rtt_matches == len(lengths)
+    assert losses_of(mon, script) == 0

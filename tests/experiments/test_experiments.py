@@ -1,0 +1,171 @@
+"""Experiment modules at reduced scale: each paper observation must hold
+in miniature (full-scale shape checks live in benchmarks/)."""
+
+import pytest
+
+from repro.core.reports import LimiterVerdict
+from repro.experiments.common import Scenario, ScenarioConfig
+from repro.experiments.fig9_perflow import run_fig9
+from repro.experiments.fig10_fairness import run_fig10
+from repro.experiments.fig11_microburst import run_fig11
+from repro.experiments.fig12_limiter import run_fig12
+from repro.experiments.fig13_iat import run_fig13
+from repro.experiments.fig14_recovery import run_fig14
+from repro.experiments.table1_comparison import run_table1
+from repro.experiments.ablations import (
+    ablate_alert_boost,
+    ablate_cca_signatures,
+    ablate_cms,
+    ablate_eack_size,
+    cca_table,
+    cms_table,
+    eack_table,
+)
+
+SMALL = ScenarioConfig(bottleneck_mbps=40.0, rtts_ms=(20.0, 30.0, 40.0),
+                       reference_rtt_ms=40.0)
+SMALL_100 = ScenarioConfig(bottleneck_mbps=40.0, rtts_ms=(40.0, 40.0, 40.0),
+                           reference_rtt_ms=40.0, buffer_bdp_fraction=0.25)
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return run_fig9(duration_s=20.0, join_s=8.0, config=SMALL)
+
+
+def test_fig9_three_flows_tracked(fig9):
+    assert len(fig9.throughput_mbps) == 3
+    assert all(series for series in fig9.throughput_mbps.values())
+
+
+def test_fig9_prejoin_parity(fig9):
+    shares = fig9.pre_join_throughputs()[:2]
+    assert len(shares) == 2
+    total = sum(shares)
+    assert total > 0.7 * 40.0          # link well used
+    assert min(shares) > 0.2 * total   # neither flow starved
+
+
+def test_fig9_join_effects(fig9):
+    assert fig9.join_loss_spike() > 0.0   # burst overran the queue
+    assert fig9.join_queue_surge() > 60.0
+
+
+def test_fig9_rtt_series_physical(fig9):
+    for label, series in fig9.rtt_ms.items():
+        settled = [v for t, v in series if t > 5.0]
+        assert settled
+        assert 15.0 < min(settled) < 120.0
+
+
+def test_fig9_summary_renders(fig9):
+    text = fig9.summary()
+    assert "Per-flow throughput" in text
+    assert "loss spike" in text
+
+
+def test_fig10_shapes(fig9):
+    result = run_fig10(fig9=fig9)
+    # Link stays highly utilised once flows are up.
+    assert result.utilization_during(5.0, 19.0) > 0.75
+    # Fairness dips when the third flow joins, then recovers.
+    assert result.min_fairness_after_join() < 0.92
+    assert result.settled_fairness() > result.min_fairness_after_join()
+    assert "fairness" in result.summary()
+
+
+def test_fig11_microburst_and_collateral():
+    r = run_fig11(duration_s=24.0, join_s=10.0, config=SMALL_100)
+    assert r.microbursts, "data plane reported no bursts"
+    burst = r.microbursts[0]
+    assert burst.duration_ns > 0
+    assert burst.peak_occupancy > 0.4
+    spikes = r.loss_spikes()
+    assert max(spikes) > 0.0
+    recoveries = r.recovery_times_s()
+    assert all(v >= 0 for v in recoveries)
+    assert "microbursts detected" in r.summary()
+
+
+def test_fig12_verdicts():
+    r = run_fig12(duration_s=25.0, config=SMALL)
+    assert r.all_correct(), r.verdicts
+    settled = r.settled_throughputs()
+    labels = list(r.throughput_mbps)
+    # Endpoint-limited flows are steady; the lossy one fluctuates more.
+    assert r.throughput_cv(labels[1]) < 0.1
+    assert r.throughput_cv(labels[2]) < 0.1
+    assert r.throughput_cv(labels[0]) > r.throughput_cv(labels[2])
+    # Receiver- and sender-limited settle near their configured caps.
+    assert settled[labels[2]] == pytest.approx(0.05 * 40.0, rel=0.25)
+
+
+def test_fig13_iat_inflation():
+    r = run_fig13(duration_s=10.0, blockage_start_s=6.0,
+                  blockage_duration_s=1.5, link_rate_mbps=500.0,
+                  stream_rate_mbps=200.0)
+    assert r.inflation_factor() > 10.0
+    base = [v for t, v in r.iat_no_blockage_us]
+    assert max(base) < 3 * (sum(base) / len(base))  # flat without blockage
+    assert "inflation" in r.summary()
+
+
+def test_fig14_ordering():
+    r = run_fig14(duration_s=10.0, blockage_start_s=5.0,
+                  blockage_duration_s=2.0, link_rate_mbps=500.0,
+                  stream_rate_mbps=200.0)
+    assert r.ordering_correct(), {
+        k: v.detection_latency_ms for k, v in r.runs.items()}
+    p4 = r.runs["p4-iat"]
+    # P4 reacts before the 500 ms throughput poll would even fire.
+    assert p4.detection_latency_ms < 100.0
+    assert p4.bytes_lost_window < r.runs["throughput"].bytes_lost_window
+    assert r.runs["throughput"].bytes_lost_window < r.runs["rssi"].bytes_lost_window
+
+
+def test_table1_claims():
+    r = run_table1(duration_s=25.0, test_repeat_s=12.0, test_duration_s=2.0,
+                   config=SMALL)
+    assert r.p4_is_passive()
+    assert r.regular_blind_to_real_flows()
+    assert r.p4_detects_microbursts()
+    assert r.p4_detects_endpoint_limits()
+    assert r.active_bytes_injected > 0       # the active tests DID load the net
+    assert r.coverage_p4_s > r.coverage_regular_s
+    assert len(r.rows()) == 6
+    assert "Regular perfSONAR" in r.summary()
+
+
+def test_ablation_cms_geometry():
+    rows = ablate_cms(widths=(128, 512), depths=(1, 3), n_flows=800)
+    by_key = {(r.width, r.depth, r.conservative): r for r in rows}
+    # Wider is better; deeper is better; conservative is better.
+    assert by_key[(512, 1, False)].mean_overestimate < by_key[(128, 1, False)].mean_overestimate
+    assert by_key[(128, 3, False)].mean_overestimate < by_key[(128, 1, False)].mean_overestimate
+    assert by_key[(128, 3, True)].mean_overestimate <= by_key[(128, 3, False)].mean_overestimate
+    assert "width" in cms_table(rows)
+
+
+def test_ablation_eack_size():
+    rows = ablate_eack_size(sizes=(128, 16384), duration_s=5.0)
+    small, large = rows
+    assert large.hit_rate > small.hit_rate
+    assert small.evictions > large.evictions
+    assert "hit rate" in eack_table(rows)
+
+
+def test_ablation_alert_boost():
+    r = ablate_alert_boost(duration_s=10.0, congest_s=4.0)
+    assert r.samples_with_boost > 2 * r.samples_without_boost
+    assert r.alerts_raised >= 1
+    assert "alert boost" in r.table()
+
+
+def test_ablation_cca_signatures_small():
+    rows = ablate_cca_signatures(ccas=("cubic", "bbr"), duration_s=8.0,
+                                 bottleneck_mbps=30.0)
+    by_cc = {r.cc: r for r in rows}
+    assert by_cc["bbr"].retransmissions <= by_cc["cubic"].retransmissions
+    assert (by_cc["bbr"].mean_queue_occupancy_pct
+            < by_cc["cubic"].mean_queue_occupancy_pct)
+    assert "CCA" in cca_table(rows)

@@ -1,0 +1,164 @@
+"""Event engine: ordering, cancellation, clock semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.engine import Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0
+    assert sim.pending == 0
+
+
+def test_events_run_in_time_order(sim):
+    order = []
+    sim.at(30, order.append, "c")
+    sim.at(10, order.append, "a")
+    sim.at(20, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_equal_timestamps_run_fifo(sim):
+    order = []
+    for tag in range(5):
+        sim.at(100, order.append, tag)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_after_is_relative(sim):
+    seen = []
+    sim.at(50, lambda: sim.after(25, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [75]
+
+
+def test_run_until_stops_clock_at_boundary(sim):
+    sim.at(10, lambda: None)
+    sim.at(200, lambda: None)
+    sim.run_until(100)
+    assert sim.now == 100
+    assert sim.pending == 1
+
+
+def test_run_until_includes_boundary_events(sim):
+    hits = []
+    sim.at(100, hits.append, 1)
+    sim.run_until(100)
+    assert hits == [1]
+
+
+def test_cancel_skips_event(sim):
+    hits = []
+    ev = sim.at(10, hits.append, 1)
+    sim.at(20, hits.append, 2)
+    ev.cancel()
+    sim.run()
+    assert hits == [2]
+
+
+def test_cancel_is_idempotent(sim):
+    ev = sim.at(10, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    sim.run()
+    assert sim.events_run == 0
+
+
+def test_schedule_in_past_rejected(sim):
+    sim.at(100, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.at(50, lambda: None)
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.after(-1, lambda: None)
+
+
+def test_run_backwards_rejected(sim):
+    sim.run_until(100)
+    with pytest.raises(ValueError):
+        sim.run_until(50)
+
+
+def test_events_scheduled_during_run_execute(sim):
+    hits = []
+
+    def chain(n):
+        hits.append(n)
+        if n < 4:
+            sim.after(1, chain, n + 1)
+
+    sim.at(0, chain, 0)
+    sim.run()
+    assert hits == [0, 1, 2, 3, 4]
+
+
+def test_step_runs_single_event(sim):
+    hits = []
+    sim.at(5, hits.append, 1)
+    sim.at(6, hits.append, 2)
+    assert sim.step()
+    assert hits == [1]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_max_events_budget(sim):
+    for i in range(10):
+        sim.at(i, lambda: None)
+    sim.run(max_events=3)
+    assert sim.events_run == 3
+    assert sim.pending == 7
+
+
+def test_peek_time_skips_cancelled(sim):
+    ev = sim.at(10, lambda: None)
+    sim.at(20, lambda: None)
+    ev.cancel()
+    assert sim.peek_time() == 20
+
+
+def test_pending_excludes_cancelled(sim):
+    ev = sim.at(10, lambda: None)
+    sim.at(20, lambda: None)
+    ev.cancel()
+    assert sim.pending == 1
+
+
+def test_args_passed_through(sim):
+    got = []
+    sim.at(1, lambda a, b: got.append((a, b)), "x", 42)
+    sim.run()
+    assert got == [("x", 42)]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=60))
+def test_property_execution_order_is_sorted(times):
+    sim = Simulator()
+    seen = []
+    for t in times:
+        sim.at(t, seen.append, t)
+    sim.run()
+    assert seen == sorted(times)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1000), min_size=2, max_size=40),
+    st.data(),
+)
+def test_property_cancelled_never_run(times, data):
+    sim = Simulator()
+    seen = []
+    events = [sim.at(t, seen.append, i) for i, t in enumerate(times)]
+    to_cancel = data.draw(st.sets(
+        st.integers(min_value=0, max_value=len(events) - 1), max_size=len(events)
+    ))
+    for i in to_cancel:
+        events[i].cancel()
+    sim.run()
+    assert set(seen) == set(range(len(times))) - to_cancel

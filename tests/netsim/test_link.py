@@ -1,0 +1,162 @@
+"""Ports and links: serialisation timing, queues, tail drop, duplex."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.host import Host
+from repro.netsim.link import Link, connect
+from repro.netsim.packet import FiveTuple, make_data_packet
+from repro.netsim.units import mbps, tx_time_ns
+
+
+class SinkStack:
+    def __init__(self):
+        self.packets = []
+
+    def deliver(self, pkt):
+        self.packets.append(pkt)
+
+
+def make_pair(sim, rate=mbps(100), delay=1_000_000, qa=10**7, qb=10**7):
+    a = Host(sim, "a", "10.0.0.1")
+    b = Host(sim, "b", "10.0.0.2")
+    link = connect(sim, a, b, rate, delay, queue_bytes_a=qa, queue_bytes_b=qb)
+    sink = SinkStack()
+    b.set_stack(sink)
+    return a, b, link, sink
+
+
+def ft(a, b):
+    return FiveTuple(a.ip, b.ip, 1000, 2000)
+
+
+def test_delivery_time_is_tx_plus_propagation(sim):
+    a, b, link, sink = make_pair(sim)
+    pkt = make_data_packet(ft(a, b), seq=0, payload_len=1000)
+    a.send(pkt)
+    sim.run()
+    expected = tx_time_ns(pkt.wire_len, mbps(100)) + 1_000_000
+    assert b.rx_packets == 1
+    assert sim.now == expected
+
+
+def test_back_to_back_packets_serialise(sim):
+    a, b, link, sink = make_pair(sim)
+    p1 = make_data_packet(ft(a, b), seq=0, payload_len=1000)
+    p2 = make_data_packet(ft(a, b), seq=1000, payload_len=1000)
+    a.send(p1)
+    a.send(p2)
+    sim.run()
+    tx = tx_time_ns(p1.wire_len, mbps(100))
+    assert sim.now == 2 * tx + 1_000_000  # second waits for the first
+
+
+def test_tail_drop_when_queue_full(sim):
+    # Queue fits exactly one waiting packet.
+    a, b, link, sink = make_pair(sim, qa=1100)
+    pkts = [make_data_packet(ft(a, b), seq=i, payload_len=1000) for i in range(3)]
+    assert a.send(pkts[0])   # goes straight to the wire
+    assert a.send(pkts[1])   # queued
+    assert not a.send(pkts[2])  # dropped
+    sim.run()
+    assert b.rx_packets == 2
+    assert a.port().drops == 1
+
+
+def test_drop_hook_fires(sim):
+    a, b, link, sink = make_pair(sim, qa=0)
+    dropped = []
+    a.port().drop_hooks.append(dropped.append)
+    a.send(make_data_packet(ft(a, b), seq=0, payload_len=100))
+    a.send(make_data_packet(ft(a, b), seq=1, payload_len=100))
+    assert len(dropped) == 1
+
+
+def test_full_duplex_no_interaction(sim):
+    a, b, link, sink = make_pair(sim)
+    sink_a = SinkStack()
+    a.set_stack(sink_a)
+    a.send(make_data_packet(ft(a, b), seq=0, payload_len=1000))
+    b.send(make_data_packet(ft(b, a), seq=0, payload_len=1000))
+    sim.run()
+    expected = tx_time_ns(1054, mbps(100)) + 1_000_000
+    assert sim.now == expected  # both directions finished simultaneously
+
+
+def test_egress_mirror_sees_departure_time(sim):
+    a, b, link, sink = make_pair(sim)
+    mirrored = []
+    a.port().egress_mirrors.append(lambda pkt, ts: mirrored.append(ts))
+    pkt = make_data_packet(ft(a, b), seq=0, payload_len=1000)
+    a.send(pkt)
+    sim.run()
+    assert mirrored == [tx_time_ns(pkt.wire_len, mbps(100))]
+
+
+def test_tx_counters(sim):
+    a, b, link, sink = make_pair(sim)
+    pkt = make_data_packet(ft(a, b), seq=0, payload_len=500)
+    a.send(pkt)
+    sim.run()
+    assert a.port().tx_packets == 1
+    assert a.port().tx_bytes == pkt.wire_len
+    assert link.delivered == 1
+
+
+def test_send_unconnected_port_raises(sim):
+    host = Host(sim, "x", "10.0.0.9")
+    host.new_port(mbps(10))
+    with pytest.raises(RuntimeError):
+        host.send(make_data_packet(FiveTuple(host.ip, 1, 1, 1), seq=0, payload_len=10))
+
+
+def test_port_cannot_join_two_links(sim):
+    a, b, link, sink = make_pair(sim)
+    c = Host(sim, "c", "10.0.0.3")
+    pc = c.new_port(mbps(10))
+    with pytest.raises(RuntimeError):
+        Link(sim, a.port(), pc, 0)
+
+
+def test_link_other_rejects_foreign_port(sim):
+    a, b, link, sink = make_pair(sim)
+    c = Host(sim, "c", "10.0.0.3")
+    pc = c.new_port(mbps(10))
+    with pytest.raises(ValueError):
+        link.other(pc)
+
+
+def test_misdelivered_packet_counted(sim):
+    a, b, link, sink = make_pair(sim)
+    stray = make_data_packet(FiveTuple(a.ip, 0x01020304, 1, 2), seq=0, payload_len=10)
+    a.send(stray)
+    sim.run()
+    assert b.misdelivered == 1
+    assert sink.packets == []
+
+
+def test_queue_depth_accounting(sim):
+    a, b, link, sink = make_pair(sim, qa=10**7)
+    for i in range(5):
+        a.send(make_data_packet(ft(a, b), seq=i, payload_len=1000))
+    port = a.port()
+    assert port.queue_depth_packets == 4  # one in flight
+    assert port.queued_bytes == 4 * 1054
+    sim.run()
+    assert port.queue_depth_packets == 0
+    assert port.queued_bytes == 0
+
+
+def test_bad_port_parameters_rejected(sim):
+    host = Host(sim, "h", "10.0.0.4")
+    with pytest.raises(ValueError):
+        host.new_port(0)
+    with pytest.raises(ValueError):
+        host.new_port(100, queue_limit_bytes=-1)
+
+
+def test_negative_link_delay_rejected(sim):
+    a = Host(sim, "a", "10.0.0.1")
+    b = Host(sim, "b", "10.0.0.2")
+    with pytest.raises(ValueError):
+        connect(sim, a, b, mbps(10), -5)

@@ -1,0 +1,114 @@
+"""pcap export/import."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.packet import FiveTuple, Packet, TCPFlags, make_data_packet
+from repro.netsim.pcap import (
+    LINKTYPE_ETHERNET,
+    MAGIC_NSEC,
+    PcapCapture,
+    read_pcap,
+    write_pcap,
+)
+
+FT = FiveTuple(0x0A00000A, 0x0A01000A, 40000, 5201)
+
+
+def sample_packets(n=5):
+    return [
+        (1_000_000_000 + i * 1_000_000,
+         make_data_packet(FT, seq=i * 100, payload_len=100 + i, ip_id=i))
+        for i in range(n)
+    ]
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "cap.pcap"
+    pkts = sample_packets()
+    assert write_pcap(path, pkts) == 5
+    back = read_pcap(path)
+    assert len(back) == 5
+    for (ts0, p0), (ts1, p1) in zip(pkts, back):
+        assert ts0 == ts1  # nanosecond-exact
+        assert p0.five_tuple == p1.five_tuple
+        assert p0.seq == p1.seq
+        assert p0.payload_len == p1.payload_len
+
+
+def test_global_header_format(tmp_path):
+    path = tmp_path / "cap.pcap"
+    write_pcap(path, sample_packets(1))
+    raw = path.read_bytes()
+    magic, major, minor, _tz, _sig, snaplen, linktype = struct.unpack_from(
+        "<IHHiIII", raw, 0)
+    assert magic == MAGIC_NSEC
+    assert (major, minor) == (2, 4)
+    assert linktype == LINKTYPE_ETHERNET
+
+
+def test_snaplen_truncation_skipped_on_read(tmp_path):
+    path = tmp_path / "cap.pcap"
+    big = make_data_packet(FT, seq=0, payload_len=5000)
+    small = make_data_packet(FT, seq=1, payload_len=50)
+    write_pcap(path, [(1, big), (2, small)], snaplen=200)
+    back = read_pcap(path)
+    # The truncated record cannot be parsed; the complete one survives.
+    assert len(back) == 1
+    assert back[0][1].payload_len == 50
+
+
+def test_read_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.pcap"
+    path.write_bytes(b"\x00" * 10)
+    with pytest.raises(ValueError):
+        read_pcap(path)
+    path.write_bytes(b"\xff" * 40)
+    with pytest.raises(ValueError):
+        read_pcap(path)
+
+
+def test_capture_hook_and_mirror_adapter(tmp_path):
+    cap = PcapCapture()
+    pkt = make_data_packet(FT, seq=0, payload_len=10)
+    cap(pkt, 123)  # rx-hook form
+
+    class FakeCopy:
+        def __init__(self):
+            self.pkt = make_data_packet(FT, seq=10, payload_len=20)
+            self.timestamp_ns = 456
+
+    cap.from_mirror(FakeCopy())
+    assert len(cap) == 2
+    path = tmp_path / "cap.pcap"
+    assert cap.save(path) == 2
+    assert [ts for ts, _ in read_pcap(path)] == [123, 456]
+
+
+def test_usec_magic_supported(tmp_path):
+    """Files written by classic tools (µs resolution) parse too."""
+    path = tmp_path / "usec.pcap"
+    pkt = make_data_packet(FT, seq=0, payload_len=10)
+    raw = pkt.to_bytes()
+    with open(path, "wb") as fh:
+        fh.write(struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1))
+        fh.write(struct.pack("<IIII", 5, 250_000, len(raw), len(raw)))
+        fh.write(raw)
+    back = read_pcap(path)
+    assert back[0][0] == 5 * 10**9 + 250_000 * 1000
+
+
+@given(st.lists(st.tuples(st.integers(0, 2**40),
+                          st.integers(0, 2000)), min_size=1, max_size=20))
+@settings(max_examples=25, deadline=None)
+def test_property_roundtrip_counts_and_order(tmp_path_factory, specs):
+    tmp = tmp_path_factory.mktemp("pcap")
+    path = tmp / "cap.pcap"
+    pkts = [(ts, make_data_packet(FT, seq=i, payload_len=plen))
+            for i, (ts, plen) in enumerate(specs)]
+    write_pcap(path, pkts)
+    back = read_pcap(path)
+    assert len(back) == len(pkts)
+    assert [p.seq for _, p in back] == [p.seq for _, p in pkts]

@@ -1,0 +1,91 @@
+"""trTCM meter extern."""
+
+import pytest
+
+from repro.netsim.units import mbps, seconds
+from repro.p4.meters import MeterArray, MeterColor
+
+
+def make_meter(cir=mbps(10), pir=mbps(20), cbs=10_000, pbs=20_000):
+    return MeterArray("m", 4, cir_bps=cir, pir_bps=pir,
+                      cbs_bytes=cbs, pbs_bytes=pbs)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MeterArray("m", 0, 1, 1)
+    with pytest.raises(ValueError):
+        MeterArray("m", 1, cir_bps=0, pir_bps=10)
+    with pytest.raises(ValueError):
+        MeterArray("m", 1, cir_bps=20, pir_bps=10)  # PIR < CIR
+    with pytest.raises(ValueError):
+        MeterArray("m", 1, 1, 1, cbs_bytes=0)
+
+
+def test_within_cir_is_green():
+    meter = make_meter()
+    # 10 Mb/s = 1.25 MB/s; send 1000 B every ms -> 1 MB/s < CIR.
+    t = 0
+    for _ in range(50):
+        t += 1_000_000
+        assert meter.execute(0, 1000, t) is MeterColor.GREEN
+
+
+def test_between_cir_and_pir_is_yellow():
+    meter = make_meter()
+    # 2 MB/s: above CIR (1.25 MB/s), below PIR (2.5 MB/s).
+    t = 0
+    colors = []
+    for _ in range(200):
+        t += 500_000
+        colors.append(meter.execute(0, 1000, t))
+    tail = colors[-50:]
+    assert MeterColor.YELLOW in tail
+    assert MeterColor.RED not in tail
+
+
+def test_above_pir_goes_red():
+    meter = make_meter()
+    # 4 MB/s: above PIR.
+    t = 0
+    colors = []
+    for _ in range(300):
+        t += 250_000
+        colors.append(meter.execute(0, 1000, t))
+    assert MeterColor.RED in colors[-50:]
+
+
+def test_burst_allowance_then_decay():
+    meter = make_meter(cbs=5_000, pbs=10_000)
+    # An instantaneous burst: first packets green on the bucket, then red.
+    colors = [meter.execute(0, 1000, 1) for _ in range(12)]
+    assert colors[0] is MeterColor.GREEN
+    assert MeterColor.RED in colors
+
+
+def test_indices_independent():
+    meter = make_meter(cbs=2_000, pbs=2_000)
+    meter.execute(0, 2000, 1)
+    # Index 1 still has full buckets.
+    assert meter.execute(1, 2000, 1) is MeterColor.GREEN
+
+
+def test_time_regression_rejected():
+    meter = make_meter()
+    meter.execute(0, 100, 1000)
+    with pytest.raises(ValueError):
+        meter.execute(0, 100, 500)
+
+
+def test_reset_refills():
+    meter = make_meter(cbs=1_000, pbs=1_000)
+    meter.execute(0, 1000, 1)
+    assert meter.execute(0, 1000, 2) is not MeterColor.GREEN
+    meter.reset(0, now_ns=2)
+    assert meter.execute(0, 1000, 3) is MeterColor.GREEN
+
+
+def test_marked_counters():
+    meter = make_meter()
+    meter.execute(0, 100, seconds(1))
+    assert sum(meter.marked.values()) == 1

@@ -1,0 +1,130 @@
+"""Stateful registers and counters: width, wrap, control-plane reads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.p4.registers import Counter, RegisterArray
+
+
+def test_initial_state_is_zero():
+    reg = RegisterArray("r", 16)
+    assert all(reg.read(i) == 0 for i in range(16))
+
+
+def test_write_read_roundtrip():
+    reg = RegisterArray("r", 8, width_bits=32)
+    reg.write(3, 123456)
+    assert reg.read(3) == 123456
+
+
+def test_width_truncation():
+    reg = RegisterArray("r", 4, width_bits=8)
+    reg.write(0, 0x1FF)
+    assert reg.read(0) == 0xFF
+
+
+def test_add_wraps_at_width():
+    reg = RegisterArray("r", 2, width_bits=8)
+    reg.write(0, 250)
+    assert reg.add(0, 10) == (250 + 10) & 0xFF
+
+
+def test_maximum_semantics():
+    reg = RegisterArray("r", 2)
+    reg.maximum(0, 100)
+    reg.maximum(0, 50)
+    assert reg.read(0) == 100
+    reg.maximum(0, 200)
+    assert reg.read(0) == 200
+
+
+def test_snapshot_is_isolated_copy():
+    reg = RegisterArray("r", 4)
+    reg.write(0, 7)
+    snap = reg.snapshot()
+    reg.write(0, 99)
+    assert snap[0] == 7
+
+
+def test_read_many():
+    reg = RegisterArray("r", 10)
+    for i in range(10):
+        reg.write(i, i * i)
+    got = reg.read_many([1, 3, 5])
+    assert list(got) == [1, 9, 25]
+
+
+def test_clear_single_and_all():
+    reg = RegisterArray("r", 4)
+    reg.write(1, 5)
+    reg.write(2, 6)
+    reg.clear(1)
+    assert reg.read(1) == 0 and reg.read(2) == 6
+    reg.clear()
+    assert reg.read(2) == 0
+
+
+def test_load_bulk():
+    reg = RegisterArray("r", 3, width_bits=8)
+    reg.load(np.array([300, 1, 2]))
+    assert reg.read(0) == 300 & 0xFF
+    with pytest.raises(ValueError):
+        reg.load(np.zeros(5))
+
+
+def test_out_of_range_index_raises():
+    reg = RegisterArray("r", 4)
+    with pytest.raises(IndexError):
+        reg.read(100)
+
+
+def test_invalid_geometry():
+    with pytest.raises(ValueError):
+        RegisterArray("r", 0)
+    with pytest.raises(ValueError):
+        RegisterArray("r", 4, width_bits=65)
+
+
+def test_len():
+    assert len(RegisterArray("r", 12)) == 12
+
+
+def test_counter_counts_packets_and_bytes():
+    ctr = Counter("c", 4)
+    ctr.count(1, 100)
+    ctr.count(1, 50)
+    assert ctr.packets(1) == 2
+    assert ctr.bytes(1) == 150
+    assert ctr.packets(0) == 0
+
+
+def test_counter_snapshot_and_clear():
+    ctr = Counter("c", 2)
+    ctr.count(0, 10)
+    pk, by = ctr.snapshot()
+    assert pk[0] == 1 and by[0] == 10
+    ctr.clear()
+    assert ctr.packets(0) == 0
+
+
+def test_counter_invalid_size():
+    with pytest.raises(ValueError):
+        Counter("c", 0)
+
+
+@given(st.integers(1, 64), st.integers(0, 2**64 - 1))
+def test_property_write_masks_to_width(width_bits, value):
+    reg = RegisterArray("r", 1, width_bits=width_bits)
+    reg.write(0, value)
+    assert reg.read(0) == value & ((1 << width_bits) - 1)
+
+
+@given(st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=30))
+def test_property_add_accumulates_mod_width(values):
+    reg = RegisterArray("r", 1, width_bits=32)
+    total = 0
+    for v in values:
+        total = (total + v) & 0xFFFFFFFF
+        reg.add(0, v)
+    assert reg.read(0) == total

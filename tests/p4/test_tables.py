@@ -1,0 +1,107 @@
+"""Match-action tables."""
+
+import pytest
+
+from repro.p4.tables import (
+    MatchActionTable,
+    MatchKind,
+    exact,
+    lpm,
+    range_match,
+    ternary,
+)
+
+
+def act(tag):
+    return lambda *data: (tag, data)
+
+
+def test_exact_match_hit_and_miss():
+    tbl = MatchActionTable("t", [MatchKind.EXACT], default_action=act("default"))
+    tbl.insert((exact(5),), act("five"))
+    assert tbl.apply(5) == ("five", ())
+    assert tbl.apply(6) == ("default", ())
+    assert tbl.misses == 1
+    assert tbl.lookups == 2
+
+
+def test_exact_duplicate_rejected():
+    tbl = MatchActionTable("t", [MatchKind.EXACT])
+    tbl.insert((exact(1),), act("a"))
+    with pytest.raises(ValueError):
+        tbl.insert((exact(1),), act("b"))
+
+
+def test_action_data_passed():
+    tbl = MatchActionTable("t", [MatchKind.EXACT])
+    tbl.insert((exact(1),), act("a"), action_data=(10, 20))
+    assert tbl.apply(1) == ("a", (10, 20))
+
+
+def test_lpm_matching():
+    tbl = MatchActionTable("t", [MatchKind.LPM])
+    tbl.insert((lpm(0x0A000000, 8),), act("10/8"))
+    assert tbl.apply(0x0A010203) == ("10/8", ())
+    assert tbl.apply(0x0B000000) is None
+
+
+def test_ternary_with_priority():
+    tbl = MatchActionTable("t", [MatchKind.TERNARY])
+    tbl.insert((ternary(0x10, 0x10),), act("ack-bit"), priority=1)
+    tbl.insert((ternary(0x12, 0xFF),), act("syn-ack"), priority=10)
+    # 0x12 matches both; higher priority wins.
+    assert tbl.apply(0x12) == ("syn-ack", ())
+    assert tbl.apply(0x10) == ("ack-bit", ())
+
+
+def test_range_matching():
+    tbl = MatchActionTable("t", [MatchKind.RANGE])
+    tbl.insert((range_match(1000, 2000),), act("mid"))
+    assert tbl.apply(1500) == ("mid", ())
+    assert tbl.apply(2000) == ("mid", ())
+    assert tbl.apply(2001) is None
+
+
+def test_multi_key():
+    tbl = MatchActionTable("t", [MatchKind.EXACT, MatchKind.RANGE])
+    tbl.insert((exact(6), range_match(0, 100)), act("tcp-low"))
+    assert tbl.apply(6, 50) == ("tcp-low", ())
+    assert tbl.apply(17, 50) is None
+
+
+def test_key_count_checked():
+    tbl = MatchActionTable("t", [MatchKind.EXACT, MatchKind.EXACT])
+    with pytest.raises(ValueError):
+        tbl.insert((exact(1),), act("a"))
+
+
+def test_key_kind_checked():
+    tbl = MatchActionTable("t", [MatchKind.EXACT])
+    with pytest.raises(TypeError):
+        tbl.insert((lpm(1, 8),), act("a"))
+
+
+def test_capacity_enforced():
+    tbl = MatchActionTable("t", [MatchKind.EXACT], max_entries=2)
+    tbl.insert((exact(1),), act("a"))
+    tbl.insert((exact(2),), act("b"))
+    with pytest.raises(RuntimeError):
+        tbl.insert((exact(3),), act("c"))
+
+
+def test_remove_and_clear():
+    tbl = MatchActionTable("t", [MatchKind.EXACT])
+    e = tbl.insert((exact(1),), act("a"))
+    tbl.remove(e)
+    assert tbl.apply(1) is None
+    tbl.insert((exact(1),), act("a2"))
+    tbl.clear()
+    assert not tbl.entries
+
+
+def test_hit_counters():
+    tbl = MatchActionTable("t", [MatchKind.EXACT])
+    e = tbl.insert((exact(1),), act("a"))
+    tbl.apply(1)
+    tbl.apply(1)
+    assert e.hits == 2

@@ -1,0 +1,170 @@
+"""Logstash pipeline (Fig. 7) and the assembled archiver."""
+
+import pytest
+
+from repro.core.reports import FlowSample
+from repro.perfsonar.archiver import Archiver
+from repro.perfsonar.logstash import (
+    AggregateTestFilter,
+    LogstashPipeline,
+    OpenSearchOutputPlugin,
+    TcpInputPlugin,
+    make_type_filter,
+    opensearch_metadata_filter,
+)
+from repro.perfsonar.opensearch import OpenSearchStore
+
+
+def test_pipeline_filter_order_and_outputs():
+    pipe = LogstashPipeline()
+    seen = []
+    pipe.add_filter(lambda e: {**e, "a": 1})
+    pipe.add_filter(lambda e: {**e, "b": e["a"] + 1})
+    pipe.add_output(seen.append)
+    out = pipe.process({"type": "x"})
+    assert out["b"] == 2
+    assert seen == [out]
+    assert pipe.events_in == pipe.events_out == 1
+
+
+def test_pipeline_drop_via_none():
+    pipe = LogstashPipeline()
+    pipe.add_filter(make_type_filter(["keep"]))
+    outputs = []
+    pipe.add_output(outputs.append)
+    assert pipe.process({"type": "drop-me"}) is None
+    assert pipe.process({"type": "keep"}) is not None
+    assert pipe.events_dropped == 1
+    assert len(outputs) == 1
+
+
+def test_metadata_filter_adds_v2_fields():
+    out = opensearch_metadata_filter({"type": "p4_rtt", "value": 1.0})
+    assert out["@version"] == "1"
+    assert "p4-perfsonar" in out["tags"]
+
+
+def test_tcp_input_feeds_pipeline():
+    pipe = LogstashPipeline()
+    got = []
+    pipe.add_output(got.append)
+    tcp = TcpInputPlugin(pipe)
+    tcp.ingest({"type": "x"})
+    tcp({"type": "y"})  # callable form
+    assert tcp.messages == 2
+    assert len(got) == 2
+
+
+def test_output_plugin_routes_by_type():
+    store = OpenSearchStore()
+    out = OpenSearchOutputPlugin(store, index_prefix="ps")
+    out({"type": "p4_rtt", "value": 1})
+    out({"type": "p4_throughput", "value": 2})
+    assert store.count("ps-p4_rtt") == 1
+    assert store.count("ps-p4_throughput") == 1
+    assert out.documents_written == 2
+
+
+def test_aggregate_filter_collapses_throughput():
+    f = AggregateTestFilter()
+    event = {
+        "type": "throughput",
+        "intervals": [{"throughput_bps": 10.0}, {"throughput_bps": 30.0}],
+    }
+    out = f(event)
+    assert out["value"] == 20.0
+    assert "intervals" not in out
+    assert f.collapsed == 1
+
+
+def test_aggregate_filter_collapses_rtt():
+    f = AggregateTestFilter()
+    out = f({"type": "rtt", "samples_ms": [1.0, 5.0, 3.0]})
+    assert out["min_ms"] == 1.0
+    assert out["max_ms"] == 5.0
+    assert out["mean_ms"] == 3.0
+    assert "samples_ms" not in out
+
+
+def test_aggregate_filter_passthrough_other_types():
+    f = AggregateTestFilter()
+    event = {"type": "p4_throughput", "value": 5}
+    assert f(event) == event
+    assert f.collapsed == 0
+
+
+def test_archiver_end_to_end_report_v1_to_v2():
+    archiver = Archiver()
+    sample = FlowSample(time_ns=2_000_000_000, metric="throughput",
+                        flow_id=9, src_ip=1, dst_ip=2, src_port=3, dst_port=4,
+                        value=1e6)
+    archiver.sink(sample.to_document())
+    docs = archiver.documents("p4_throughput")
+    assert len(docs) == 1
+    doc = docs[0]
+    # Report_v2: the original fields + OpenSearch metadata.
+    assert doc["value"] == 1e6
+    assert doc["@version"] == "1"
+    assert doc["_index"] == "pscheduler-p4_throughput"
+
+
+def test_archiver_series_and_flow_ids():
+    archiver = Archiver()
+    for t, fid in ((1, 5), (2, 5), (3, 6)):
+        archiver.sink({"type": "p4_rtt", "@timestamp": float(t),
+                       "flow_id": fid, "value": t * 1.0})
+    assert archiver.series("p4_rtt", flow_id=5) == [(1.0, 1.0), (2.0, 2.0)]
+    assert set(archiver.flow_ids("p4_rtt")) == {5, 6}
+    assert archiver.count("p4_rtt") == 3
+
+
+# -- throttle filter ------------------------------------------------------------
+
+
+def _alert(ts, metric="rtt", flow=1):
+    return {"type": "p4_alert", "@timestamp": float(ts),
+            "metric": metric, "flow_id": flow}
+
+
+def test_throttle_passes_up_to_limit():
+    from repro.perfsonar.logstash import ThrottleFilter
+    f = ThrottleFilter(["metric", "flow_id"], max_events=3, period_s=10.0)
+    out = [f(_alert(t)) for t in range(6)]
+    assert [e is not None for e in out] == [True, True, True, False, False, False]
+    assert f.throttled == 3
+
+
+def test_throttle_window_resets():
+    from repro.perfsonar.logstash import ThrottleFilter
+    f = ThrottleFilter(["metric"], max_events=1, period_s=10.0)
+    assert f(_alert(0)) is not None
+    assert f(_alert(5)) is None
+    assert f(_alert(11)) is not None  # new window
+
+
+def test_throttle_keys_independent():
+    from repro.perfsonar.logstash import ThrottleFilter
+    f = ThrottleFilter(["flow_id"], max_events=1, period_s=10.0)
+    assert f(_alert(0, flow=1)) is not None
+    assert f(_alert(0, flow=2)) is not None
+    assert f(_alert(1, flow=1)) is None
+
+
+def test_throttle_validation():
+    from repro.perfsonar.logstash import ThrottleFilter
+    import pytest as _pytest
+    with _pytest.raises(ValueError):
+        ThrottleFilter(["x"], max_events=0)
+
+
+def test_throttle_in_pipeline_guards_alert_storm():
+    from repro.perfsonar.logstash import ThrottleFilter
+    pipe = LogstashPipeline()
+    pipe.add_filter(ThrottleFilter(["metric", "flow_id"], max_events=2,
+                                   period_s=60.0))
+    out = []
+    pipe.add_output(out.append)
+    for t in range(20):
+        pipe.process(_alert(t))
+    assert len(out) == 2
+    assert pipe.events_dropped == 18

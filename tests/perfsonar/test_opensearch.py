@@ -1,0 +1,79 @@
+"""OpenSearch-like store."""
+
+import pytest
+
+from repro.perfsonar.opensearch import OpenSearchStore
+
+
+@pytest.fixture
+def store():
+    s = OpenSearchStore()
+    for i in range(5):
+        s.index("metrics", {"@timestamp": float(i), "value": i * 10.0,
+                            "flow_id": i % 2})
+    return s
+
+
+def test_index_assigns_unique_ids(store):
+    i1 = store.index("metrics", {"value": 1})
+    i2 = store.index("metrics", {"value": 2})
+    assert i1 != i2
+
+
+def test_get_by_id(store):
+    doc_id = store.index("other", {"value": 42})
+    assert store.get("other", doc_id)["value"] == 42
+    assert store.get("other", "nope") is None
+
+
+def test_count_and_indices(store):
+    assert store.count("metrics") == 5
+    assert store.count("missing") == 0
+    assert "metrics" in store.indices
+
+
+def test_term_search(store):
+    docs = store.search("metrics", term={"flow_id": 1})
+    assert len(docs) == 2
+    assert all(d["flow_id"] == 1 for d in docs)
+
+
+def test_time_range_search(store):
+    docs = store.search("metrics", time_range=(1.0, 3.0))
+    assert [d["@timestamp"] for d in docs] == [1.0, 2.0, 3.0]
+
+
+def test_sort_and_size(store):
+    docs = store.search("metrics", sort_field="value", size=2)
+    assert [d["value"] for d in docs] == [0.0, 10.0]
+
+
+def test_search_returns_copies(store):
+    doc = store.search("metrics")[0]
+    doc["value"] = -1
+    assert store.search("metrics")[0]["value"] != -1
+
+
+def test_aggregations(store):
+    assert store.aggregate("metrics", "value", "min") == 0.0
+    assert store.aggregate("metrics", "value", "max") == 40.0
+    assert store.aggregate("metrics", "value", "avg") == 20.0
+    assert store.aggregate("metrics", "value", "sum") == 100.0
+    assert store.aggregate("metrics", "value", "count") == 5.0
+    assert store.aggregate("metrics", "value", "p95") == pytest.approx(38.0)
+
+
+def test_aggregate_empty_and_unknown(store):
+    assert store.aggregate("missing", "value", "avg") == 0.0
+    with pytest.raises(ValueError):
+        store.aggregate("metrics", "value", "median")
+
+
+def test_series(store):
+    series = store.series("metrics", term={"flow_id": 0})
+    assert series == [(0.0, 0.0), (2.0, 20.0), (4.0, 40.0)]
+
+
+def test_delete_index(store):
+    store.delete_index("metrics")
+    assert store.count("metrics") == 0

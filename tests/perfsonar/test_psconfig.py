@@ -1,0 +1,116 @@
+"""The config-P4 pSConfig extension (Fig. 6)."""
+
+import json
+
+import pytest
+
+from repro.core.config import MetricKind
+from repro.core.control_plane import MonitorControlPlane
+from repro.netsim.engine import Simulator
+from repro.perfsonar.psconfig import PSConfig, main
+
+from tests.core.helpers import small_monitor
+
+
+@pytest.fixture
+def psc():
+    sim = Simulator()
+    mon = small_monitor()
+    cp = MonitorControlPlane(sim, mon)
+    return PSConfig(cp), cp
+
+
+def test_fig6_line1_throughput(psc):
+    ps, cp = psc
+    ps.run("config-P4 --metric throughput --samples_per_second 1")
+    assert cp.config.metric(MetricKind.THROUGHPUT).samples_per_second == 1.0
+
+
+def test_fig6_line2_rtt(psc):
+    ps, cp = psc
+    cmd = ps.run("config-P4 --metric RTT --samples_per_second 2")
+    assert cmd.metrics == [MetricKind.RTT]
+    assert cp.config.metric(MetricKind.RTT).samples_per_second == 2.0
+    # Others untouched.
+    assert cp.config.metric(MetricKind.THROUGHPUT).samples_per_second == 1.0
+
+
+def test_fig6_line3_queue_alert(psc):
+    ps, cp = psc
+    ps.run("config-P4 --metric queue_occupancy --alert --threshold 30 "
+           "--samples_per_second 10")
+    mc = cp.config.metric(MetricKind.QUEUE_OCCUPANCY)
+    assert mc.alert_enabled
+    assert mc.alert_threshold == 30.0
+    # With --alert, samples_per_second is the *boosted* rate (paper text).
+    assert mc.boosted_samples_per_second == 10.0
+    assert mc.samples_per_second == 1.0
+
+
+def test_omitting_metric_applies_to_all(psc):
+    ps, cp = psc
+    ps.run("config-P4 --samples_per_second 4")
+    for kind in MetricKind:
+        assert cp.config.metric(kind).samples_per_second == 4.0
+
+
+def test_alert_requires_threshold(psc):
+    ps, _ = psc
+    with pytest.raises(SystemExit):
+        ps.parse("config-P4 --metric RTT --alert")
+
+
+def test_requires_some_action(psc):
+    ps, _ = psc
+    with pytest.raises(SystemExit):
+        ps.parse("config-P4 --metric RTT")
+
+
+def test_unknown_metric_rejected(psc):
+    ps, _ = psc
+    with pytest.raises(SystemExit):
+        ps.parse("config-P4 --metric jitter --samples_per_second 1")
+
+
+def test_run_without_control_plane_raises():
+    ps = PSConfig()
+    with pytest.raises(RuntimeError):
+        ps.run("config-P4 --samples_per_second 1")
+
+
+def test_history_recorded(psc):
+    ps, _ = psc
+    ps.run("config-P4 --samples_per_second 1")
+    ps.run("config-P4 --metric RTT --samples_per_second 2")
+    assert len(ps.history) == 2
+
+
+def test_argv_list_form(psc):
+    ps, cp = psc
+    ps.run(["config-P4", "--metric", "packet_loss", "--samples_per_second", "3"])
+    assert cp.config.metric(MetricKind.PACKET_LOSS).samples_per_second == 3.0
+
+
+def test_describe_shape(psc):
+    ps, _ = psc
+    cmd = ps.parse("config-P4 --metric RTT --samples_per_second 2")
+    d = cmd.describe()
+    assert d == {
+        "command": "config-P4",
+        "metrics": ["rtt"],
+        "samples_per_second": 2.0,
+        "alert": False,
+        "threshold": None,
+    }
+
+
+def test_main_prints_json(capsys):
+    rc = main(["config-P4", "--metric", "RTT", "--samples_per_second", "2"])
+    assert rc == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["metrics"] == ["rtt"]
+
+
+def test_main_usage_error_returns_nonzero(capsys):
+    rc = main(["config-P4"])
+    assert rc != 0

@@ -1,0 +1,131 @@
+"""Active tools, pScheduler and the perfSONAR node over the simulator."""
+
+import pytest
+
+from repro.netsim.netem import LossImpairment
+from repro.netsim.units import millis, seconds
+from repro.perfsonar.node import PerfSonarNode
+from repro.perfsonar.pscheduler import TestSpec
+from repro.perfsonar.tools import EchoAgent, LossProbeTool, PingTool, ToolResult
+
+
+@pytest.fixture
+def nodes(sim, topo, small_topo_config):
+    local = PerfSonarNode(sim, topo.internal_perfsonar, mss=small_topo_config.mss)
+    remote = PerfSonarNode(sim, topo.external_perfsonar[0], mss=small_topo_config.mss)
+    local.register_peer(remote)
+    return local, remote
+
+
+def test_ping_measures_path_rtt(sim, topo, nodes, small_topo_config):
+    local, remote = nodes
+    results = []
+    ping = PingTool(sim, local.echo_agent, remote.host.ip, count=5,
+                    on_done=lambda r: results.append(r.document))
+    ping.start()
+    sim.run_until(seconds(5))
+    doc = results[0]
+    assert doc["type"] == "rtt"
+    assert doc["sent"] == 5 and doc["lost"] == 0
+    # Path 1 RTT is 20 ms (uncongested).
+    for s in doc["samples_ms"]:
+        assert s == pytest.approx(small_topo_config.rtts_ms[0], rel=0.1)
+
+
+def test_ping_counts_losses(sim, topo, nodes):
+    local, remote = nodes
+    # Kill the remote access link.
+    for link in topo.links:
+        if link.a.owner is remote.host or link.b.owner is remote.host:
+            link.impairments.append(LossImpairment(1.0))
+    results = []
+    PingTool(sim, local.echo_agent, remote.host.ip, count=4,
+             on_done=lambda r: results.append(r.document)).start()
+    sim.run_until(seconds(5))
+    assert results[0]["lost"] == 4
+
+
+def test_loss_probe_estimates_rate(sim, topo, nodes):
+    local, remote = nodes
+    for link in topo.links:
+        if link.a.owner is remote.host or link.b.owner is remote.host:
+            link.impairments.append(LossImpairment(0.3, seed=4))
+    results = []
+    LossProbeTool(sim, local.echo_agent, remote.host.ip, count=300,
+                  on_done=lambda r: results.append(r.document)).start()
+    sim.run_until(seconds(10))
+    doc = results[0]
+    assert doc["type"] == "loss"
+    # Bidirectional Bernoulli(0.3): P(lost) = 1-(0.7^2) = 0.51.
+    assert doc["loss_pct"] == pytest.approx(51.0, abs=12.0)
+
+
+def test_scheduler_runs_throughput_test_and_archives(sim, nodes):
+    local, remote = nodes
+    local.schedule_test(TestSpec("throughput", dst_ip=remote.host.ip,
+                                 repeat_s=30.0, duration_s=2.0, start_s=0.5))
+    sim.run_until(seconds(5))
+    assert local.pscheduler.tests_run == 1
+    docs = local.archived("throughput")
+    assert len(docs) == 1
+    # Default perfSONAR aggregation: single value, no interval samples.
+    assert "value" in docs[0]
+    assert "intervals" not in docs[0]
+    assert docs[0]["value"] > 0
+
+
+def test_scheduler_repeats(sim, nodes):
+    local, remote = nodes
+    local.schedule_test(TestSpec("rtt", dst_ip=remote.host.ip,
+                                 repeat_s=2.0, probe_count=3, start_s=0.0))
+    sim.run_until(seconds(7))
+    assert local.pscheduler.tests_run >= 3
+    docs = local.archived("rtt")
+    assert len(docs) >= 3
+    # Aggregated to min/mean/max by the default pipeline.
+    assert {"min_ms", "max_ms", "mean_ms"} <= set(docs[0])
+
+
+def test_non_aggregating_node_keeps_samples(sim, topo, small_topo_config):
+    node = PerfSonarNode(sim, topo.internal_perfsonar,
+                         mss=small_topo_config.mss, aggregate_results=False)
+    remote = PerfSonarNode(sim, topo.external_perfsonar[1],
+                           mss=small_topo_config.mss)
+    node.register_peer(remote)
+    node.schedule_test(TestSpec("rtt", dst_ip=remote.host.ip,
+                                repeat_s=60.0, probe_count=3))
+    sim.run_until(seconds(4))
+    docs = node.archived("rtt")
+    assert "samples_ms" in docs[0]
+
+
+def test_unknown_test_type_rejected(sim, nodes):
+    local, remote = nodes
+    local.schedule_test(TestSpec("banana", dst_ip=remote.host.ip, start_s=0.0))
+    with pytest.raises(ValueError):
+        sim.run_until(seconds(1))
+
+
+def test_unregistered_peer_raises(sim, nodes):
+    local, _ = nodes
+    local.schedule_test(TestSpec("throughput", dst_ip=0xDEAD, start_s=0.0))
+    with pytest.raises(KeyError):
+        sim.run_until(seconds(1))
+
+
+def test_scheduler_stop(sim, nodes):
+    local, remote = nodes
+    local.schedule_test(TestSpec("rtt", dst_ip=remote.host.ip, repeat_s=1.0,
+                                 probe_count=2))
+    sim.run_until(seconds(1.5))
+    local.pscheduler.stop()
+    runs = local.pscheduler.tests_run
+    sim.run_until(seconds(5))
+    assert local.pscheduler.tests_run == runs
+
+
+def test_echo_agent_proto_binding_conflict(sim, topo):
+    host = topo.internal_perfsonar
+    EchoAgent(sim, host)
+    with pytest.raises(ValueError):
+        EchoAgent(sim, host)

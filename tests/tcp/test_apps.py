@@ -1,0 +1,105 @@
+"""iPerf3-like applications."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.host import Host
+from repro.netsim.link import connect
+from repro.netsim.units import mbps, millis, seconds
+from repro.tcp.apps import Iperf3Client, Iperf3Server, start_transfer
+from repro.tcp.stack import TcpHostStack
+
+MSS = 1448
+
+
+@pytest.fixture
+def path(sim):
+    a = Host(sim, "a", "10.0.0.1")
+    b = Host(sim, "b", "10.0.0.2")
+    connect(sim, a, b, mbps(40), millis(5))
+    return TcpHostStack(sim, a, default_mss=MSS), TcpHostStack(sim, b, default_mss=MSS)
+
+
+def test_duration_mode_runs_for_duration(sim, path):
+    cstack, sstack = path
+    client, server = start_transfer(sim, cstack, sstack, sstack.host.ip,
+                                    duration_s=3.0)
+    sim.run_until(seconds(5))
+    assert client.done
+    span = client.stats.end_ns - client.stats.established_ns
+    assert span == pytest.approx(seconds(3.0), rel=0.1)
+
+
+def test_volume_mode_sends_exact_bytes(sim, path):
+    cstack, sstack = path
+    server = Iperf3Server(sim, sstack, port=5201)
+    client = Iperf3Client(sim, cstack, server_ip=sstack.host.ip,
+                          total_bytes=123_456)
+    sim.run_until(seconds(5))
+    assert client.done
+    assert server.total_bytes == 123_456
+
+
+def test_mode_exclusivity_enforced(sim, path):
+    cstack, sstack = path
+    with pytest.raises(ValueError):
+        Iperf3Client(sim, cstack, server_ip=1, total_bytes=1, duration_ns=1)
+    with pytest.raises(ValueError):
+        Iperf3Client(sim, cstack, server_ip=1)
+
+
+def test_interval_reports_cover_run(sim, path):
+    cstack, sstack = path
+    client, server = start_transfer(sim, cstack, sstack, sstack.host.ip,
+                                    duration_s=4.0)
+    sim.run_until(seconds(6))
+    assert len(server.intervals) >= 5
+    # Sum of interval bytes equals the total.
+    assert sum(s.bytes for s in server.intervals) == server.total_bytes
+
+
+def test_interval_throughput_math(sim, path):
+    cstack, sstack = path
+    client, server = start_transfer(sim, cstack, sstack, sstack.host.ip,
+                                    duration_s=3.0)
+    sim.run_until(seconds(5))
+    for s in server.intervals:
+        assert s.throughput_bps == pytest.approx(
+            s.bytes * 8 * 1e9 / (s.end_ns - s.start_ns))
+
+
+def test_rate_capped_client(sim, path):
+    cstack, sstack = path
+    client, server = start_transfer(sim, cstack, sstack, sstack.host.ip,
+                                    duration_s=4.0, rate_bps=mbps(3))
+    sim.run_until(seconds(6))
+    settled = [s.throughput_bps for s in server.intervals[1:4]]
+    for v in settled:
+        assert v == pytest.approx(mbps(3), rel=0.2)
+
+
+def test_on_done_callback(sim, path):
+    cstack, sstack = path
+    client, server = start_transfer(sim, cstack, sstack, sstack.host.ip,
+                                    duration_s=1.0)
+    done = []
+    client.on_done.append(lambda c: done.append(sim.now))
+    sim.run_until(seconds(4))
+    assert done
+
+
+def test_stats_before_start_raises(sim, path):
+    cstack, sstack = path
+    client = Iperf3Client(sim, cstack, server_ip=sstack.host.ip,
+                          total_bytes=100, start_ns=seconds(10))
+    with pytest.raises(RuntimeError):
+        _ = client.stats
+
+
+def test_server_stop_halts_ticker(sim, path):
+    cstack, sstack = path
+    server = Iperf3Server(sim, sstack, port=5999)
+    server.stop()
+    n = len(server.intervals)
+    sim.run_until(seconds(3))
+    assert len(server.intervals) == n

@@ -1,0 +1,164 @@
+"""Congestion-control algorithms."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.units import millis, seconds
+from repro.tcp.cc import CongestionControl, Cubic, Reno, make_cc, register_cc
+
+MSS = 1448
+
+
+def test_factory():
+    assert isinstance(make_cc("reno", MSS), Reno)
+    assert isinstance(make_cc("cubic", MSS), Cubic)
+    assert isinstance(make_cc("CUBIC", MSS), Cubic)
+    with pytest.raises(ValueError):
+        make_cc("bbr9", MSS)
+
+
+def test_register_custom_cc():
+    class MyCc(Reno):
+        name = "mycc"
+
+    register_cc("mycc", MyCc)
+    assert isinstance(make_cc("mycc", MSS), MyCc)
+    with pytest.raises(TypeError):
+        register_cc("bad", dict)
+
+
+def test_initial_window():
+    cc = Reno(MSS, initial_window_segments=10)
+    assert cc.cwnd_bytes == 10 * MSS
+    assert cc.in_slow_start()
+
+
+def test_mss_must_be_positive():
+    with pytest.raises(ValueError):
+        Reno(0)
+
+
+def test_reno_slow_start_doubles_per_rtt():
+    cc = Reno(MSS, hystart=False)
+    start = cc.cwnd
+    # One RTT worth of ACKs: each full segment acked grows cwnd by 1 MSS.
+    n_acks = int(start // MSS)
+    for _ in range(n_acks):
+        cc.on_ack(MSS, millis(10), seconds(1), int(start))
+    assert cc.cwnd == pytest.approx(2 * start)
+
+
+def test_reno_congestion_avoidance_linear():
+    cc = Reno(MSS, hystart=False)
+    cc.ssthresh = cc.cwnd  # force CA
+    start = cc.cwnd
+    n_acks = int(start // MSS)
+    for _ in range(n_acks):
+        cc.on_ack(MSS, millis(10), seconds(1), int(start))
+    assert cc.cwnd == pytest.approx(start + MSS, rel=0.05)
+
+
+def test_reno_halves_on_loss():
+    cc = Reno(MSS)
+    cc.cwnd = 100 * MSS
+    cc.on_loss_event(100 * MSS, seconds(1))
+    assert cc.cwnd == pytest.approx(50 * MSS)
+    assert cc.ssthresh == pytest.approx(50 * MSS)
+
+
+def test_rto_collapses_to_one_segment():
+    cc = Reno(MSS)
+    cc.cwnd = 80 * MSS
+    cc.on_rto(80 * MSS, seconds(1))
+    assert cc.cwnd_bytes == MSS
+    assert cc.ssthresh == pytest.approx(40 * MSS)
+
+
+def test_loss_event_floors_at_two_mss():
+    cc = Reno(MSS)
+    cc.cwnd = float(MSS)
+    cc.on_loss_event(MSS, seconds(1))
+    assert cc.ssthresh == 2 * MSS
+
+
+def test_cubic_beta_on_loss():
+    cc = Cubic(MSS)
+    cc.cwnd = 100 * MSS
+    cc.on_loss_event(100 * MSS, seconds(1))
+    assert cc.cwnd == pytest.approx(70 * MSS)
+
+
+def test_cubic_regrows_toward_wmax():
+    cc = Cubic(MSS, hystart=False)
+    cc.cwnd = 100 * MSS
+    cc.ssthresh = cc.cwnd  # in CA
+    cc.on_loss_event(100 * MSS, 0)
+    rtt = millis(20)
+    now = 0
+    for _ in range(3000):
+        now += rtt // 10
+        cc.on_ack(MSS, rtt, now, cc.cwnd_bytes)
+    # After enough time CUBIC returns to (and passes) the old W_max.
+    assert cc.cwnd >= 95 * MSS
+
+
+def test_cubic_concave_then_convex():
+    """Growth slows approaching W_max then accelerates past it."""
+    cc = Cubic(MSS, hystart=False)
+    cc.cwnd = 100 * MSS
+    cc.ssthresh = cc.cwnd
+    cc.on_loss_event(100 * MSS, 0)
+    rtt = millis(20)
+    now, samples = 0, []
+    for _ in range(4000):
+        now += rtt // 10
+        cc.on_ack(MSS, rtt, now, cc.cwnd_bytes)
+        samples.append(cc.cwnd)
+    wmax = 100 * MSS
+    # It crossed W_max at some point and kept growing.
+    crossed = [i for i, w in enumerate(samples) if w > wmax]
+    assert crossed, "never crossed W_max"
+    assert samples[-1] > samples[crossed[0]]
+
+
+def test_hystart_exits_slow_start_on_rtt_rise():
+    cc = Cubic(MSS, hystart=True)
+    base = millis(20)
+    for _ in range(5):
+        cc.on_ack(MSS, base, 0, cc.cwnd_bytes)
+    assert cc.in_slow_start()
+    # RTT inflates 2x -> HyStart caps ssthresh at the current cwnd.
+    cc.on_ack(MSS, 2 * base, 0, cc.cwnd_bytes)
+    assert not cc.in_slow_start()
+
+
+def test_hystart_disabled_ignores_rtt_rise():
+    cc = Cubic(MSS, hystart=False)
+    base = millis(20)
+    for _ in range(5):
+        cc.on_ack(MSS, base, 0, cc.cwnd_bytes)
+    cc.on_ack(MSS, 10 * base, 0, cc.cwnd_bytes)
+    assert cc.in_slow_start()
+
+
+@given(st.integers(100, 9000), st.lists(
+    st.tuples(st.sampled_from(["ack", "loss", "rto"]),
+              st.integers(1, 100)),
+    min_size=1, max_size=60,
+))
+@settings(max_examples=50)
+def test_property_cwnd_never_below_one_mss(mss, ops):
+    """Invariant: whatever the event sequence, cwnd_bytes >= MSS."""
+    for name in ("reno", "cubic"):
+        cc = make_cc(name, mss)
+        now = 0
+        for op, amount in ops:
+            now += millis(5)
+            if op == "ack":
+                cc.on_ack(amount * mss // 10 + 1, millis(10), now, cc.cwnd_bytes)
+            elif op == "loss":
+                cc.on_loss_event(cc.cwnd_bytes, now)
+            else:
+                cc.on_rto(cc.cwnd_bytes, now)
+            assert cc.cwnd_bytes >= mss
+            assert cc.ssthresh >= 0

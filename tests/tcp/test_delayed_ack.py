@@ -1,0 +1,113 @@
+"""Delayed ACKs (RFC 1122) and their effect on the eACK RTT algorithm."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.host import Host
+from repro.netsim.link import connect
+from repro.netsim.packet import Packet
+from repro.netsim.units import mbps, millis, seconds
+from repro.tcp.stack import TcpHostStack
+
+MSS = 1448
+
+
+def make_path(sim):
+    a = Host(sim, "a", "10.0.0.1")
+    b = Host(sim, "b", "10.0.0.2")
+    connect(sim, a, b, mbps(50), millis(5))
+    return TcpHostStack(sim, a, default_mss=MSS), TcpHostStack(sim, b, default_mss=MSS)
+
+
+def count_acks(host, sim):
+    acks = []
+    orig = host.send
+
+    def spy(pkt: Packet):
+        if pkt.payload_len == 0 and pkt.flags & 0x10:
+            acks.append(pkt)
+        return orig(pkt)
+
+    host.send = spy
+    return acks
+
+
+def run_transfer(sim, cstack, sstack, delayed, nbytes=300_000):
+    sstack.listen(5201, delayed_ack=delayed)
+    acks = count_acks(sstack.host, sim)
+    conn = cstack.open_connection(sstack.host.ip, 5201)
+    conn.on_established.append(lambda c: (c.write(nbytes), c.close()))
+    conn.connect()
+    sim.run_until(seconds(10))
+    return conn, acks
+
+
+def test_transfer_completes_with_delayed_acks(sim):
+    cstack, sstack = make_path(sim)
+    conn, acks = run_transfer(sim, cstack, sstack, delayed=True)
+    assert conn.stats.bytes_acked == 300_000
+
+
+def test_delayed_acks_roughly_halve_ack_count():
+    counts = {}
+    for delayed in (False, True):
+        sim = Simulator()
+        cstack, sstack = make_path(sim)
+        conn, acks = run_transfer(sim, cstack, sstack, delayed=delayed)
+        assert conn.stats.bytes_acked == 300_000
+        counts[delayed] = len(acks)
+    assert counts[True] < 0.7 * counts[False]
+
+
+def test_delack_timer_flushes_single_segment(sim):
+    """A lone in-order segment is acked within the 40 ms delack timeout."""
+    cstack, sstack = make_path(sim)
+    sstack.listen(5201, delayed_ack=True)
+    conn = cstack.open_connection(sstack.host.ip, 5201)
+    conn.on_established.append(lambda c: c.write(500))  # one sub-MSS segment
+    conn.connect()
+    sim.run_until(seconds(2))
+    # The 500 bytes were acked despite no second segment ever arriving.
+    assert conn.stats.bytes_acked == 500
+
+
+def test_delayed_acks_reduce_eack_match_rate():
+    """With cumulative ACKs covering two segments, only every second eACK
+    signature matches — the monitor's hit rate drops but RTTs stay valid
+    (the Chen et al. caveat, quantified)."""
+    from repro.experiments.common import Scenario, ScenarioConfig
+    from repro.tcp.apps import Iperf3Client, Iperf3Server
+    from repro.netsim.units import seconds as s
+
+    rates = {}
+    for delayed in (False, True):
+        scenario = Scenario(ScenarioConfig(bottleneck_mbps=30.0,
+                                           rtts_ms=(20.0, 30.0, 40.0),
+                                           reference_rtt_ms=40.0),
+                            with_perfsonar=False)
+        server = Iperf3Server(scenario.sim, scenario.server_stacks[0],
+                              port=5300, delayed_ack=delayed)
+        client = Iperf3Client(scenario.sim, scenario.client_stack,
+                              server_ip=scenario.topology.external_dtns[0].ip,
+                              server_port=5300, duration_ns=s(6.0))
+        scenario.run(8.0)
+        stage = scenario.monitor.rtt_loss
+        total = stage.rtt_matches + stage.rtt_misses
+        rates[delayed] = stage.rtt_matches / total if total else 0.0
+    assert rates[True] < rates[False]
+    assert rates[True] > 0.2  # still usable
+
+
+def test_out_of_order_data_acked_immediately(sim):
+    """Dupacks must not be delayed (fast retransmit depends on them)."""
+    from repro.netsim.netem import LossImpairment
+    cstack, sstack = make_path(sim)
+    link = cstack.host.ports[0].link
+    link.impairments.append(LossImpairment(0.03, seed=8, data_only=True))
+    sstack.listen(5201, delayed_ack=True)
+    conn = cstack.open_connection(sstack.host.ip, 5201)
+    conn.on_established.append(lambda c: (c.write(400_000), c.close()))
+    conn.connect()
+    sim.run_until(seconds(30))
+    assert conn.stats.bytes_acked == 400_000
+    assert conn.stats.fast_retransmits > 0  # dupacks arrived promptly

@@ -1,0 +1,37 @@
+"""Experiment-runner CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_parser_accepts_known_experiments():
+    parser = build_parser()
+    for name in list(EXPERIMENTS) + ["all"]:
+        args = parser.parse_args([name])
+        assert args.experiment == name
+
+
+def test_parser_rejects_unknown():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig99"])
+
+
+def test_quick_flag_caps_duration():
+    args = build_parser().parse_args(["fig9", "--quick", "--duration", "100"])
+    assert args.quick
+
+
+def test_main_runs_fig13(capsys):
+    rc = main(["fig13"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fig13" in out
+    assert "inflation" in out
+
+
+def test_main_runs_fig12_quick(capsys):
+    rc = main(["fig12", "--quick"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "verdict" in out

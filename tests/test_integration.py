@@ -1,0 +1,125 @@
+"""End-to-end integration: the passive monitor's reports must agree with
+endpoint ground truth on a live (small) Science DMZ scenario."""
+
+import pytest
+
+from repro.core.config import MetricKind
+from repro.experiments.common import Scenario, ScenarioConfig, mean, window
+
+
+@pytest.fixture(scope="module")
+def ran_scenario():
+    """One shared 12-second, 30 Mb/s, 2-flow run."""
+    cfg = ScenarioConfig(
+        bottleneck_mbps=30.0,
+        rtts_ms=(20.0, 30.0, 40.0),
+        reference_rtt_ms=40.0,
+    )
+    scenario = Scenario(cfg)
+    f1 = scenario.add_flow(0, start_s=0.0, duration_s=12.0)
+    f2 = scenario.add_flow(1, start_s=2.0, duration_s=10.0)
+    scenario.run(14.0)
+    return scenario, f1, f2
+
+
+def test_both_flows_tracked(ran_scenario):
+    scenario, f1, f2 = ran_scenario
+    assert scenario.monitored_flow(f1) is not None
+    assert scenario.monitored_flow(f2) is not None
+
+
+def test_monitor_throughput_matches_ground_truth(ran_scenario):
+    scenario, f1, f2 = ran_scenario
+    for handle in (f1, f2):
+        mon = scenario.throughput_series_mbps(handle)
+        gt = handle.ground_truth_series
+        m_avg = mean(window(mon, 4.0, 11.0))
+        g_avg = mean(window(gt, 4.0, 11.0))
+        assert g_avg > 0
+        # Monitor counts wire bytes incl. retransmissions; allow 15%.
+        assert m_avg == pytest.approx(g_avg, rel=0.15)
+
+
+def test_monitor_rtt_within_physical_bounds(ran_scenario):
+    scenario, f1, f2 = ran_scenario
+    max_queue_ms = scenario.monitor.config.max_queue_delay_ns() / 1e6
+    for handle, base_ms in ((f1, 20.0), (f2, 30.0)):
+        rtts = [v for t, v in scenario.monitor_series(handle, MetricKind.RTT)
+                if t > 4.0]
+        assert rtts, "no RTT samples"
+        for v in rtts:
+            assert base_ms * 0.95 <= v <= base_ms + max_queue_ms * 1.3
+
+
+def test_monitor_loss_counts_match_endpoint_retransmissions(ran_scenario):
+    scenario, f1, f2 = ran_scenario
+    mask = scenario.monitor.config.flow_slots - 1
+    rt = scenario.control_plane.runtime
+    total_monitor = 0
+    total_endpoint = 0
+    for handle in (f1, f2):
+        tracked = scenario.monitored_flow(handle)
+        total_monitor += rt.read_register("pkt_loss", tracked.flow_id & mask)
+        total_endpoint += handle.stats.retransmissions
+    assert total_endpoint > 0, "scenario produced no congestion losses"
+    # Every endpoint retransmission appears on the wire as a sequence
+    # regression.  The monitor may see slightly fewer (a retransmission
+    # burst after an RTO rewind regresses once).
+    assert total_monitor == pytest.approx(total_endpoint, rel=0.35)
+
+
+def test_queue_occupancy_reflects_congestion(ran_scenario):
+    scenario, f1, f2 = ran_scenario
+    qocc = [v for t, v in scenario.monitor_series(f1, MetricKind.QUEUE_OCCUPANCY)
+            if 4.0 < t < 11.0]
+    assert qocc
+    assert max(qocc) > 50.0  # two CUBIC flows keep the 1-BDP buffer busy
+
+
+def test_utilization_near_one_when_saturated(ran_scenario):
+    scenario, f1, f2 = ran_scenario
+    cp = scenario.control_plane
+    utils = [a.link_utilization for a in cp.aggregate_samples
+             if 4e9 < a.time_ns < 11e9]
+    assert mean(utils) > 0.8
+
+
+def test_termination_reports_for_both_flows(ran_scenario):
+    scenario, f1, f2 = ran_scenario
+    assert len(scenario.control_plane.terminations) == 2
+    for report in scenario.control_plane.terminations:
+        assert report.total_bytes > 1_000_000
+        assert report.avg_throughput_bps > 0
+        assert 0 <= report.retransmission_pct < 50
+
+
+def test_reports_flow_into_archive(ran_scenario):
+    scenario, f1, f2 = ran_scenario
+    archiver = scenario.perfsonar.archiver
+    assert archiver.count("p4_throughput") > 10
+    assert archiver.count("p4_rtt") > 5
+    assert archiver.count("p4_aggregate") > 10
+    assert archiver.count("p4_flow_termination") == 2
+    # Report_v2 metadata present.
+    doc = archiver.documents("p4_throughput")[0]
+    assert doc["@version"] == "1"
+
+
+def test_monitor_is_fully_passive(ran_scenario):
+    """The P4 switch never transmits: every simulated byte originates
+    from hosts."""
+    scenario, f1, f2 = ran_scenario
+    assert not hasattr(scenario.monitor, "send")
+    assert scenario.monitor.copies_ingress > 0
+    # TAP mirror counters match what the monitor consumed.
+    tap = scenario.topology.tap
+    assert tap.copies_ingress == scenario.monitor.copies_ingress
+    assert tap.copies_egress == scenario.monitor.copies_egress
+
+
+def test_eack_hit_rate_reasonable(ran_scenario):
+    scenario, f1, f2 = ran_scenario
+    stage = scenario.monitor.rtt_loss
+    total = stage.rtt_matches + stage.rtt_misses
+    assert total > 0
+    assert stage.rtt_matches / total > 0.5

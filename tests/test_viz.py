@@ -1,0 +1,48 @@
+"""ASCII visualisation helpers."""
+
+from repro.viz import _resample, render_table, sparkline, timeseries_panel
+
+
+def test_sparkline_monotone_ramp():
+    s = sparkline([0, 1, 2, 3, 4])
+    assert s[0] == " " and s[-1] == "█"
+    assert len(s) == 5
+
+
+def test_sparkline_constant_series():
+    assert sparkline([5, 5, 5]) == "▄▄▄"
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_sparkline_explicit_bounds():
+    s = sparkline([5], lo=0, hi=10)
+    assert s == "▄"
+
+
+def test_resample_buckets_average():
+    assert _resample([1, 1, 3, 3], 2) == [1.0, 3.0]
+    assert _resample([1, 2], 10) == [1, 2]  # shorter than target: unchanged
+
+
+def test_timeseries_panel_contains_stats():
+    panel = timeseries_panel({"x": [(0, 1.0), (1, 3.0)]}, title="T", unit="ms")
+    assert "T" in panel
+    assert "min 1.00" in panel
+    assert "max 3.00" in panel
+    assert "ms" in panel
+
+
+def test_timeseries_panel_no_data():
+    assert "(no data)" in timeseries_panel({}, title="empty")
+    assert "(no data)" in timeseries_panel({"x": []})
+
+
+def test_render_table_alignment():
+    out = render_table(["a", "long-header"], [[1, 2], [333, 4]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert all(len(l) == len(lines[0]) for l in lines[1:])
+    assert "long-header" in lines[0]
