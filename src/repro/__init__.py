@@ -32,6 +32,30 @@ Quickstart::
     print(result.summary())
 """
 
+import logging
+from typing import Optional, TextIO
+
 from repro._version import __version__
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "configure_logging"]
+
+# Library convention: stay silent unless the application configures a
+# handler (the CLI does, via --verbose/--quiet).
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
+
+def configure_logging(level: int = logging.INFO,
+                      stream: Optional[TextIO] = None) -> logging.Logger:
+    """Attach one stream handler (stderr by default) to the ``repro``
+    logger.  Idempotent: calling again replaces the previous handler, so
+    tests and repeated CLI invocations don't stack duplicates."""
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if not isinstance(handler, logging.NullHandler):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(
+        "%(asctime)s %(levelname)-7s %(name)s: %(message)s", "%H:%M:%S"))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger

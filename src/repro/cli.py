@@ -7,13 +7,28 @@ prints its summary, e.g.::
     repro-experiments table1
     repro-experiments ablations
     repro-experiments all --quick
+
+Observability (docs/observability.md)::
+
+    repro-experiments stats                     # instrumented quick run
+    repro-experiments fig9 --telemetry          # snapshot after the run
+    repro-experiments fig9 --telemetry --telemetry-format prom \
+        --telemetry-out metrics.prom
+
+Progress goes through :mod:`logging` (stderr, ``--verbose``/``--quiet``);
+experiment results stay on stdout so pipelines can capture them.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Callable, Dict, Optional, Sequence
+
+from repro import configure_logging, telemetry
+
+log = logging.getLogger("repro.cli")
 
 
 def _fig9(args) -> str:
@@ -76,6 +91,25 @@ def _ablations(args) -> str:
     return "\n".join(parts)
 
 
+def _stats(args) -> str:
+    """A short instrumented fig9-style run; the 'result' is the metrics
+    snapshot itself (netsim, P4 stages, control plane, archiver)."""
+    telemetry.enable()
+    from repro.experiments.common import Scenario, ScenarioConfig
+
+    duration = min(args.duration, 10.0)
+    log.info("stats: instrumented run, %.0f simulated seconds", duration)
+    scenario = Scenario(
+        ScenarioConfig(bottleneck_mbps=25.0, rtts_ms=(20.0, 30.0, 40.0),
+                       reference_rtt_ms=40.0),
+        with_perfsonar=True,
+    )
+    scenario.add_flow(0, duration_s=duration)
+    scenario.add_flow(1, start_s=duration / 4, duration_s=duration)
+    scenario.run(duration + 2.0)
+    return _render_snapshot(args)
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "fig9": _fig9,
     "fig10": _fig10,
@@ -85,6 +119,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig14": _fig14,
     "table1": _table1,
     "ablations": _ablations,
+    "stats": _stats,
 }
 
 
@@ -96,7 +131,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
-        help="which table/figure to regenerate",
+        help="which table/figure to regenerate ('stats' runs a short "
+             "instrumented scenario and prints the telemetry snapshot)",
     )
     parser.add_argument("--duration", type=float, default=40.0,
                         help="workload duration in simulated seconds")
@@ -104,19 +140,64 @@ def build_parser() -> argparse.ArgumentParser:
                         help="join time of the third flow (fig9/10/11)")
     parser.add_argument("--quick", action="store_true",
                         help="short runs (duration 20, join 8)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="debug-level progress logging")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="warnings and errors only")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="enable self-telemetry and print a metrics "
+                             "snapshot after the run")
+    parser.add_argument("--telemetry-format",
+                        choices=("table", "prom", "json"), default="table",
+                        help="snapshot rendering (default: table)")
+    parser.add_argument("--telemetry-out", metavar="FILE", default=None,
+                        help="also write the snapshot to FILE")
     return parser
+
+
+def _render_snapshot(args) -> str:
+    snap = telemetry.snapshot()
+    if args.telemetry_format == "prom":
+        rendered = telemetry.to_prometheus_text(snap)
+    elif args.telemetry_format == "json":
+        rendered = telemetry.to_json(snap)
+    else:
+        rendered = telemetry.render_table(snap)
+    if args.telemetry_out:
+        try:
+            with open(args.telemetry_out, "w") as fh:
+                fh.write(rendered)
+        except OSError as exc:
+            # The snapshot still goes to stdout; flag the failed write.
+            log.error("cannot write telemetry snapshot to %s: %s",
+                      args.telemetry_out, exc)
+            args._telemetry_write_failed = True
+        else:
+            log.info("telemetry snapshot written to %s", args.telemetry_out)
+    return rendered
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    level = logging.WARNING if args.quiet else (
+        logging.DEBUG if args.verbose else logging.INFO)
+    configure_logging(level)
     if args.quick:
         args.duration = min(args.duration, 20.0)
         args.join = min(args.join, 8.0)
+    if args.telemetry:
+        telemetry.enable()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "all":
+        names.remove("stats")  # 'all' means the paper artifacts
     for name in names:
+        log.info("running %s (duration=%.0fs)", name, args.duration)
         print(f"\n{'=' * 70}\n  {name}\n{'=' * 70}")
         print(EXPERIMENTS[name](args))
-    return 0
+    if args.telemetry and args.experiment != "stats":
+        print(f"\n{'=' * 70}\n  telemetry\n{'=' * 70}")
+        print(_render_snapshot(args))
+    return 1 if getattr(args, "_telemetry_write_failed", False) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.core.config import MetricKind, MonitorConfig
 from repro.core.reports import Alert
 
@@ -27,6 +28,12 @@ class AlertManager:
         self.sink = sink
         self._active: Dict[Tuple[MetricKind, Optional[int]], Alert] = {}
         self.history: List[Alert] = []
+        self._tel_transitions = None
+        if telemetry.enabled():
+            self._tel_transitions = telemetry.counter(
+                "repro_cp_alert_transitions_total",
+                "alert raise/clear transitions per metric class",
+                labels=("metric", "transition"))
 
     def check(
         self,
@@ -71,6 +78,9 @@ class AlertManager:
 
     def _emit(self, alert: Alert) -> None:
         self.history.append(alert)
+        if self._tel_transitions is not None:
+            self._tel_transitions.labels(
+                alert.metric, "cleared" if alert.cleared else "raised").inc()
         if self.sink is not None:
             self.sink(alert)
 

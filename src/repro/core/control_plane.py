@@ -17,9 +17,11 @@ Responsibilities, as the paper assigns them:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro import telemetry
 from repro.netsim.engine import Event, Simulator
 from repro.netsim.units import NS_PER_S
 from repro.core.alerts import AlertManager
@@ -104,6 +106,27 @@ class MonitorControlPlane:
         self.runtime.subscribe_digest("flow_termination", self._on_termination)
         self.runtime.subscribe_digest("microburst", self._on_microburst)
 
+        # Telemetry handles are bound once here; when disabled every hook
+        # below reduces to an ``is None`` test.
+        self._tel_cycle_ns = None
+        if telemetry.enabled():
+            self._tel_cycle_ns = telemetry.histogram(
+                "repro_cp_extraction_ns",
+                "wall-clock duration of one extraction cycle, per metric class",
+                labels=("metric",))
+            self._tel_cycles = telemetry.counter(
+                "repro_cp_extraction_cycles_total",
+                "extraction cycles run, per metric class", labels=("metric",))
+            self._tel_reports = telemetry.counter(
+                "repro_cp_reports_total",
+                "reports shipped to the sink, by document type",
+                labels=("type",))
+            reads_gauge = telemetry.gauge(
+                "repro_cp_register_reads",
+                "runtime API register read calls issued by the control plane")
+            telemetry.registry().add_collector(
+                lambda _reg, rt=self.runtime: reads_gauge.set(rt.register_reads))
+
     # -- lifecycle ---------------------------------------------------------------
 
     def start(self) -> None:
@@ -127,7 +150,15 @@ class MonitorControlPlane:
     def _tick(self, kind: MetricKind) -> None:
         if not self._running:
             return
-        self._tick_fns[kind]()
+        if self._tel_cycle_ns is not None:
+            with telemetry.span("cp.extract", self.sim):
+                t0 = time.perf_counter_ns()
+                self._tick_fns[kind]()
+                self._tel_cycle_ns.labels(kind.value).observe(
+                    time.perf_counter_ns() - t0)
+            self._tel_cycles.labels(kind.value).inc()
+        else:
+            self._tick_fns[kind]()
         self._arm(kind)
 
     # -- runtime reconfiguration (what pSConfig drives, Fig. 5a) ------------------
@@ -402,6 +433,10 @@ class MonitorControlPlane:
     def _ship(self, report: object) -> None:
         if self.report_sink is not None:
             payload = report.to_document() if hasattr(report, "to_document") else report
+            if self._tel_cycle_ns is not None:
+                kind = payload.get("type", "unknown") if isinstance(payload, dict) \
+                    else type(report).__name__
+                self._tel_reports.labels(kind).inc()
             self.report_sink(payload)
 
     # -- convenience queries (used by experiments/examples) ---------------------------

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from repro import telemetry
 from repro.netsim.engine import Simulator
 from repro.netsim.packet import Packet
 from repro.netsim.tap import MirrorCopy, TapDirection
@@ -59,6 +60,40 @@ class P4Monitor:
 
         self.copies_ingress = 0
         self.copies_egress = 0
+        if telemetry.enabled():
+            self._register_telemetry()
+
+    def _register_telemetry(self) -> None:
+        """Pull-style collection: hot paths keep their plain-int tallies
+        (TAP copies, register/sketch ops, digest emissions); a snapshot
+        copies them into gauges."""
+        reg = telemetry.registry()
+        copies = reg.gauge("repro_p4_tap_copies",
+                           "TAP mirror copies received by the monitor",
+                           labels=("direction",))
+        register_ops = reg.gauge("repro_p4_register_ops",
+                                 "data-plane register ALU operations",
+                                 labels=("register",))
+        sketch_ops = reg.gauge("repro_p4_sketch_ops",
+                               "count-min sketch operations",
+                               labels=("sketch", "op"))
+        digests = reg.gauge("repro_p4_digests",
+                            "digest messages emitted/dropped by the data plane",
+                            labels=("digest", "outcome"))
+
+        def collect(_reg, mon=self) -> None:
+            copies.labels("ingress").set(mon.copies_ingress)
+            copies.labels("egress").set(mon.copies_egress)
+            for name, array in mon.program.registers.items():
+                register_ops.labels(name).set(array.ops)
+            for name, cms in mon.program.sketches.items():
+                sketch_ops.labels(name, "update").set(cms.updates)
+                sketch_ops.labels(name, "query").set(cms.queries)
+            for name, digest in mon.program.digests.items():
+                digests.labels(name, "emitted").set(digest.emitted)
+                digests.labels(name, "dropped").set(digest.dropped)
+
+        reg.add_collector(collect)
 
     # -- TAP sink -------------------------------------------------------------
 

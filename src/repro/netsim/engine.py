@@ -16,6 +16,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Optional
 
+from repro import telemetry
+
 
 class Event:
     """Handle for a scheduled callback.  ``cancel()`` is O(1) (lazy removal)."""
@@ -55,6 +57,24 @@ class Simulator:
         self._seq = itertools.count()
         self._events_run = 0
         self._running = False
+        # Telemetry stays out of the event loop: counters are pushed once
+        # per run()/run_until() call, and queue depth is pulled at
+        # snapshot time by a collector (near-zero cost when disabled).
+        self._tel_events = None
+        if telemetry.enabled():
+            self._tel_events = telemetry.counter(
+                "repro_netsim_events_total", "events dispatched by the engine")
+            self._tel_depth = telemetry.histogram(
+                "repro_netsim_queue_depth", "event-queue depth sampled at "
+                "each run()/run_until() return", buckets=telemetry.SIZE_BUCKETS)
+            pending_gauge = telemetry.gauge(
+                "repro_netsim_pending_events", "live events still queued")
+            telemetry.registry().add_collector(
+                lambda _reg, sim=self: pending_gauge.set(sim.pending))
+
+    def _tel_flush(self, executed_before: int) -> None:
+        self._tel_events.inc(self._events_run - executed_before)
+        self._tel_depth.observe(len(self._heap))
 
     # -- scheduling --------------------------------------------------------
 
@@ -82,6 +102,7 @@ class Simulator:
             raise ValueError(f"cannot run backwards to {time_ns} (now={self.now})")
         heap = self._heap
         self._running = True
+        executed_before = self._events_run
         try:
             while heap and heap[0].time_ns <= time_ns:
                 ev = heapq.heappop(heap)
@@ -92,6 +113,8 @@ class Simulator:
                 ev.fn(*ev.args)
         finally:
             self._running = False
+            if self._tel_events is not None:
+                self._tel_flush(executed_before)
         self.now = time_ns
 
     def run(self, max_events: Optional[int] = None) -> None:
@@ -99,6 +122,7 @@ class Simulator:
         heap = self._heap
         budget = max_events if max_events is not None else float("inf")
         self._running = True
+        executed_before = self._events_run
         try:
             while heap and budget > 0:
                 ev = heapq.heappop(heap)
@@ -110,6 +134,8 @@ class Simulator:
                 ev.fn(*ev.args)
         finally:
             self._running = False
+            if self._tel_events is not None:
+                self._tel_flush(executed_before)
 
     def step(self) -> bool:
         """Run a single event.  Returns False when the queue is empty."""

@@ -11,9 +11,11 @@ source would be organised into control blocks.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro import telemetry
 from repro.p4.parser import HeaderParser, ParsedHeaders
 
 
@@ -55,12 +57,39 @@ class P4Pipeline:
         self.egress: List[PipelineStage] = []
         self.packets_in = 0
         self.packets_dropped = 0
+        # Instrumentation is bound at construction: when telemetry is off
+        # the per-packet cost is one ``is None`` test in process().
+        self._tel_stage_pkts = None
+        if telemetry.enabled():
+            self._tel_stage_pkts = telemetry.counter(
+                "repro_p4_stage_packets_total",
+                "packets entering each pipeline stage",
+                labels=("pipeline", "stage"))
+            self._tel_stage_drops = telemetry.counter(
+                "repro_p4_stage_drops_total",
+                "packets dropped by each stage (parser rejects included)",
+                labels=("pipeline", "stage"))
+            self._tel_latency = telemetry.histogram(
+                "repro_p4_packet_ns",
+                "wall-clock processing time per packet through the pipeline",
+                labels=("pipeline",)).labels(name)
+            self._tel_parser = self._tel_stage_pkts.labels(name, "parser")
+            self._tel_stage_cells: List = []
+
+    def _tel_stage(self, stage: PipelineStage):
+        cell = self._tel_stage_pkts.labels(self.name, stage.name)
+        self._tel_stage_cells.append(cell)
+        return cell
 
     def add_ingress(self, stage: PipelineStage) -> None:
         self.ingress.append(stage)
+        if self._tel_stage_pkts is not None:
+            self._tel_stage(stage)
 
     def add_egress(self, stage: PipelineStage) -> None:
         self.egress.append(stage)
+        if self._tel_stage_pkts is not None:
+            self._tel_stage(stage)
 
     def process(self, packet, meta: StandardMetadata) -> Optional[ParsedHeaders]:
         """Run one packet through parse → ingress → egress.
@@ -68,6 +97,8 @@ class P4Pipeline:
         Returns the parsed headers (None if the parser rejected or a
         stage dropped it).
         """
+        if self._tel_stage_pkts is not None:
+            return self._process_instrumented(packet, meta)
         self.packets_in += 1
         hdr = self.parser.parse(packet)
         if hdr is None:
@@ -83,4 +114,31 @@ class P4Pipeline:
             if meta.drop:
                 self.packets_dropped += 1
                 return None
+        return hdr
+
+    def _process_instrumented(self, packet, meta: StandardMetadata) -> Optional[ParsedHeaders]:
+        """Telemetry twin of :meth:`process`: per-stage packet/drop
+        counters plus a wall-clock latency histogram per packet."""
+        t0 = time.perf_counter_ns()
+        self.packets_in += 1
+        self._tel_parser.inc()
+        hdr = self.parser.parse(packet)
+        if hdr is None:
+            self.packets_dropped += 1
+            self._tel_stage_drops.labels(self.name, "parser").inc()
+            self._tel_latency.observe(time.perf_counter_ns() - t0)
+            return None
+        cells = self._tel_stage_cells
+        i = 0
+        for block in (self.ingress, self.egress):
+            for stage in block:
+                cells[i].inc()
+                i += 1
+                stage.process(hdr, meta)
+                if meta.drop:
+                    self.packets_dropped += 1
+                    self._tel_stage_drops.labels(self.name, stage.name).inc()
+                    self._tel_latency.observe(time.perf_counter_ns() - t0)
+                    return None
+        self._tel_latency.observe(time.perf_counter_ns() - t0)
         return hdr

@@ -29,23 +29,29 @@ class RegisterArray:
         self._mask = (1 << width_bits) - 1
         # uint64 holds any width up to 64; masking keeps wrap semantics.
         self._cells = np.zeros(size, dtype=np.uint64)
+        # Plain-int data-plane op tally, pulled by the telemetry collector.
+        self.ops = 0
 
     # -- data-plane access (per packet) ---------------------------------------
 
     def read(self, index: int) -> int:
+        self.ops += 1
         return int(self._cells[index])
 
     def write(self, index: int, value: int) -> None:
+        self.ops += 1
         self._cells[index] = value & self._mask
 
     def add(self, index: int, value: int) -> int:
         """Read-modify-write increment; returns the new value."""
+        self.ops += 1
         new = (int(self._cells[index]) + value) & self._mask
         self._cells[index] = new
         return new
 
     def maximum(self, index: int, value: int) -> int:
         """Tofino-style max ALU: keep the larger of cell and value."""
+        self.ops += 1
         new = max(int(self._cells[index]), value & self._mask)
         self._cells[index] = new
         return new

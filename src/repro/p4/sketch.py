@@ -37,6 +37,9 @@ class CountMinSketch:
         self.conservative = conservative
         self._rows = np.zeros((depth, width), dtype=np.uint64)
         self._hashes = [HashEngine(width, algorithm=algorithm, salt=row) for row in range(depth)]
+        # Plain-int op tallies, pulled by the telemetry collector.
+        self.updates = 0
+        self.queries = 0
 
     # -- data-plane operations ----------------------------------------------
 
@@ -47,6 +50,7 @@ class CountMinSketch:
         """Add ``amount``; returns the post-update estimate."""
         if amount < 0:
             raise ValueError("CMS is additive-only")
+        self.updates += 1
         idx = self._indices(key)
         if self.conservative:
             current = min(int(self._rows[r, i]) for r, i in enumerate(idx))
@@ -63,6 +67,7 @@ class CountMinSketch:
         return int(est)
 
     def query(self, key: bytes) -> int:
+        self.queries += 1
         return min(int(self._rows[r, i]) for r, i in enumerate(self._indices(key)))
 
     def update_tuple(self, ft: FiveTuple, amount: int = 1) -> int:

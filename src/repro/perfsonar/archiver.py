@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro import telemetry
 from repro.perfsonar.logstash import (
     LogstashPipeline,
     OpenSearchOutputPlugin,
@@ -31,9 +32,28 @@ class Archiver:
         self.pipeline.add_output(self.output)
         self.tcp_input = TcpInputPlugin(self.pipeline)
         self.index_prefix = index_prefix
+        self._tel_records = None
+        if telemetry.enabled():
+            self._tel_records = telemetry.counter(
+                "repro_archiver_records_total",
+                "records shipped into the archiver by the control plane")
+            self._tel_batch = telemetry.histogram(
+                "repro_archiver_record_fields",
+                "field count per archived record (the batch-size proxy "
+                "for the newline-delimited TCP input)",
+                buckets=telemetry.SIZE_BUCKETS)
+            docs_gauge = telemetry.gauge(
+                "repro_archiver_documents_written",
+                "documents the OpenSearch output plugin has indexed")
+            telemetry.registry().add_collector(
+                lambda _reg, out=self.output: docs_gauge.set(out.documents_written))
 
     # The control-plane report sink (accepts Report_v1 dicts).
     def sink(self, report: dict) -> None:
+        if self._tel_records is not None:
+            self._tel_records.inc()
+            if isinstance(report, dict):
+                self._tel_batch.observe(len(report))
         self.tcp_input.ingest(report)
 
     # -- dashboard-style queries -----------------------------------------------

@@ -17,8 +17,10 @@ pipeline (Table 1's granularity comparison).
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional
 
+from repro import telemetry
 from repro.perfsonar.opensearch import OpenSearchStore
 
 FilterFn = Callable[[dict], Optional[dict]]
@@ -34,6 +36,16 @@ class LogstashPipeline:
         self.events_in = 0
         self.events_out = 0
         self.events_dropped = 0
+        self._tel_events = None
+        if telemetry.enabled():
+            self._tel_events = telemetry.counter(
+                "repro_logstash_events_total",
+                "events through the Logstash pipeline, by outcome",
+                labels=("pipeline", "outcome"))
+            self._tel_filter_ns = telemetry.histogram(
+                "repro_logstash_filter_ns",
+                "wall-clock time spent in the filter chain per event",
+                labels=("pipeline",)).labels(name)
 
     def add_filter(self, fn: FilterFn) -> None:
         self.filters.append(fn)
@@ -43,12 +55,20 @@ class LogstashPipeline:
 
     def process(self, event: dict) -> Optional[dict]:
         self.events_in += 1
+        tel = self._tel_events
+        t0 = time.perf_counter_ns() if tel is not None else 0
         doc: Optional[dict] = dict(event)
         for fn in self.filters:
             doc = fn(doc)
             if doc is None:
                 self.events_dropped += 1
+                if tel is not None:
+                    self._tel_filter_ns.observe(time.perf_counter_ns() - t0)
+                    tel.labels(self.name, "dropped").inc()
                 return None
+        if tel is not None:
+            self._tel_filter_ns.observe(time.perf_counter_ns() - t0)
+            tel.labels(self.name, "shipped").inc()
         for out in self.outputs:
             out(doc)
         self.events_out += 1

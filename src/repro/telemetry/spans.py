@@ -1,0 +1,131 @@
+"""Span tracing: nested wall-time + sim-time operation timing.
+
+A span is one timed operation.  Spans nest through a per-tracer stack,
+so a pipeline-stage span opened inside an extraction-cycle span records
+under the path ``"cp.tick/stage.apply"`` — the same shape PrintQueue's
+per-stage breakdowns use.  Each distinct path aggregates into two
+registry histograms:
+
+- ``repro_span_wall_ns{span=path}`` — host wall-clock nanoseconds;
+- ``repro_span_sim_ns{span=path}``  — simulated nanoseconds, recorded
+  only when the span was given a clock (any object with ``.now``).
+
+When the tracer is disabled, :meth:`Tracer.span` hands back one shared
+no-op context manager: the hot path pays a single attribute test.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import List, Optional
+
+from repro.telemetry.metrics import LATENCY_BUCKETS_NS, MetricsRegistry
+
+__all__ = ["Tracer", "NULL_SPAN"]
+
+WALL_FAMILY = "repro_span_wall_ns"
+SIM_FAMILY = "repro_span_sim_ns"
+COUNT_FAMILY = "repro_span_total"
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("tracer", "name", "clock", "path", "t0_wall", "t0_sim")
+
+    def __init__(self, tracer: "Tracer", name: str, clock) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.clock = clock
+        self.path = ""
+        self.t0_wall = 0
+        self.t0_sim = 0
+
+    def __enter__(self) -> "_Span":
+        stack = self.tracer._stack
+        self.path = f"{stack[-1]}/{self.name}" if stack else self.name
+        stack.append(self.path)
+        if self.clock is not None:
+            self.t0_sim = self.clock.now
+        self.t0_wall = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        wall = time.perf_counter_ns() - self.t0_wall
+        stack = self.tracer._stack
+        # A mismatched pop only happens if __exit__ runs twice; guard anyway.
+        if stack and stack[-1] == self.path:
+            stack.pop()
+        self.tracer._record(self.path, wall,
+                            self.clock.now - self.t0_sim if self.clock is not None else None)
+        return False
+
+
+class Tracer:
+    """Aggregating tracer bound to a :class:`MetricsRegistry`."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.enabled = False
+        self._stack: List[str] = []
+        self._wall = registry.histogram(
+            WALL_FAMILY, "wall-clock time per traced operation",
+            labels=("span",), buckets=LATENCY_BUCKETS_NS)
+        self._sim = registry.histogram(
+            SIM_FAMILY, "simulated time per traced operation",
+            labels=("span",), buckets=LATENCY_BUCKETS_NS)
+        self._count = registry.counter(
+            COUNT_FAMILY, "completed traced operations", labels=("span",))
+
+    def span(self, name: str, clock=None):
+        """Context manager timing one operation.
+
+        ``clock`` is anything with a ``.now`` integer (a
+        :class:`~repro.netsim.engine.Simulator`) — when given, the span
+        also records elapsed simulated time.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, name, clock)
+
+    def traced(self, name: Optional[str] = None):
+        """Decorator form: ``@tracer.traced("cp.tick")``."""
+
+        def deco(fn):
+            label = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                if not self.enabled:
+                    return fn(*args, **kwargs)
+                with _Span(self, label, None):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return deco
+
+    def _record(self, path: str, wall_ns: int, sim_ns: Optional[int]) -> None:
+        self._wall.labels(path).observe(wall_ns)
+        self._count.labels(path).inc()
+        if sim_ns is not None:
+            self._sim.labels(path).observe(sim_ns)
+
+    # -- introspection (tests) --------------------------------------------
+
+    def depth(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,16 @@
+"""Telemetry tests run against a pristine global registry and leave the
+process with telemetry disabled (components cache the enabled flag at
+construction, so leakage would silently instrument later tests)."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()

@@ -1,0 +1,75 @@
+"""Exporter formats and the JSON ⇄ Prometheus round-trip property."""
+
+from repro.telemetry.export import (
+    from_json,
+    render_table,
+    to_json,
+    to_prometheus_text,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_events_total", "events").inc(123)
+    gauges = reg.gauge("repro_depth", "queue depth", labels=("queue",))
+    gauges.labels("ingress").set(7)
+    gauges.labels("egress").set(0.5)
+    hist = reg.histogram("repro_latency_ns", "latency", buckets=(10, 100, 1000))
+    for v in (5, 50, 500, 5000):
+        hist.observe(v)
+    return reg
+
+
+def test_prometheus_text_shape():
+    text = to_prometheus_text(sample_registry().snapshot())
+    assert "# TYPE repro_events_total counter" in text
+    assert "repro_events_total 123" in text
+    assert '# TYPE repro_depth gauge' in text
+    assert 'repro_depth{queue="ingress"} 7' in text
+    assert 'repro_depth{queue="egress"} 0.5' in text
+    assert "# TYPE repro_latency_ns histogram" in text
+    # Cumulative bucket counts, ending at +Inf == _count.
+    assert 'repro_latency_ns_bucket{le="10"} 1' in text
+    assert 'repro_latency_ns_bucket{le="100"} 2' in text
+    assert 'repro_latency_ns_bucket{le="1000"} 3' in text
+    assert 'repro_latency_ns_bucket{le="+Inf"} 4' in text
+    assert "repro_latency_ns_sum 5555" in text
+    assert "repro_latency_ns_count 4" in text
+
+
+def test_prometheus_label_escaping():
+    reg = MetricsRegistry()
+    reg.counter("c", labels=("l",)).labels('he said "hi"\\').inc()
+    text = to_prometheus_text(reg.snapshot())
+    assert 'l="he said \\"hi\\"\\\\"' in text
+
+
+def test_metric_name_sanitised():
+    reg = MetricsRegistry()
+    reg.counter("weird.name-with chars").inc()
+    text = to_prometheus_text(reg.snapshot())
+    assert "weird_name_with_chars 1" in text
+
+
+def test_json_round_trip_is_lossless():
+    snap = sample_registry().snapshot()
+    assert from_json(to_json(snap)) == snap
+
+
+def test_json_then_prometheus_matches_direct_prometheus():
+    """The round-trip property: a snapshot that went through JSON renders
+    identical Prometheus text."""
+    snap = sample_registry().snapshot()
+    assert to_prometheus_text(from_json(to_json(snap))) == to_prometheus_text(snap)
+
+
+def test_render_table():
+    table = render_table(sample_registry().snapshot())
+    assert "repro_events_total" in table
+    assert "queue=ingress" in table
+    assert "n=4" in table  # histogram summarised, not raw
+
+
+def test_render_table_empty():
+    assert "no metrics" in render_table({"metrics": []})

@@ -1,0 +1,121 @@
+"""Span tracing: nesting paths, wall/sim time, decorator, disabled path."""
+
+import pytest
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import NULL_SPAN, Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0
+
+
+def _wall_series(tracer):
+    snap = tracer.registry.snapshot()
+    fam = next(m for m in snap["metrics"] if m["name"] == "repro_span_wall_ns")
+    return {s["labels"]["span"]: s for s in fam["series"] if s["count"]}
+
+
+def _sim_series(tracer):
+    snap = tracer.registry.snapshot()
+    fam = next(m for m in snap["metrics"] if m["name"] == "repro_span_sim_ns")
+    return {s["labels"]["span"]: s for s in fam["series"] if s["count"]}
+
+
+def make_tracer() -> Tracer:
+    t = Tracer(MetricsRegistry())
+    t.enabled = True
+    return t
+
+
+def test_disabled_tracer_hands_out_null_span():
+    t = Tracer(MetricsRegistry())
+    assert t.span("anything") is NULL_SPAN
+    with t.span("anything"):
+        pass
+    assert _wall_series(t) == {}
+
+
+def test_span_records_wall_time():
+    t = make_tracer()
+    with t.span("op"):
+        sum(range(1000))
+    series = _wall_series(t)
+    assert series["op"]["count"] == 1
+    assert series["op"]["sum"] > 0
+
+
+def test_spans_nest_into_paths():
+    t = make_tracer()
+    with t.span("pipeline"):
+        with t.span("table"):
+            with t.span("register"):
+                pass
+        with t.span("register"):
+            pass
+    series = _wall_series(t)
+    assert set(series) == {"pipeline", "pipeline/table",
+                           "pipeline/table/register", "pipeline/register"}
+    assert t.depth() == 0
+
+
+def test_sim_time_recorded_with_clock():
+    t = make_tracer()
+    clock = FakeClock()
+    with t.span("tick", clock):
+        clock.now += 12_345
+    series = _sim_series(t)
+    assert series["tick"]["sum"] == 12_345
+
+
+def test_no_sim_series_without_clock():
+    t = make_tracer()
+    with t.span("tick"):
+        pass
+    assert _sim_series(t) == {}
+
+
+def test_exception_still_records_and_unwinds():
+    t = make_tracer()
+    with pytest.raises(ValueError):
+        with t.span("outer"):
+            with t.span("inner"):
+                raise ValueError("boom")
+    assert t.depth() == 0
+    series = _wall_series(t)
+    assert series["outer"]["count"] == 1
+    assert series["outer/inner"]["count"] == 1
+
+
+def test_traced_decorator():
+    t = make_tracer()
+
+    @t.traced("work")
+    def work(x):
+        return x * 2
+
+    assert work(21) == 42
+    assert _wall_series(t)["work"]["count"] == 1
+
+
+def test_traced_decorator_noop_when_disabled():
+    t = make_tracer()
+
+    @t.traced("work")
+    def work():
+        return 1
+
+    t.enabled = False
+    work()
+    assert _wall_series(t) == {}
+
+
+def test_span_count_family():
+    t = make_tracer()
+    for _ in range(3):
+        with t.span("op"):
+            pass
+    snap = t.registry.snapshot()
+    fam = next(m for m in snap["metrics"] if m["name"] == "repro_span_total")
+    assert fam["series"][0]["value"] == 3
