@@ -1,0 +1,201 @@
+"""Bench-trend regression gate.
+
+Compares the working tree's ``BENCH_<name>.json`` perf records (written
+by ``pytest benchmarks/...``, see ``benchmarks/conftest.py``) against
+the records **committed to git**, and fails when wall time regresses by
+more than the budget (default 30 %).  This is the enforcement arm of the
+ROADMAP's "fast as the hardware allows" goal: every PR's CI regenerates
+the records and this gate blocks silent slowdowns.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_substrate_perf.py -q
+    python benchmarks/trend.py substrate telemetry_overhead \
+        --report trend-report.json
+
+With no names, every ``BENCH_*.json`` in the repo root is checked.
+Tests absent from the baseline (new benchmarks) and records with no
+committed baseline pass with a note; baselines shorter than
+``--min-baseline`` seconds are skipped as noise-dominated.
+
+Exit codes: 0 ok, 1 regression, 2 usage/missing current record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+DEFAULT_BUDGET = 1.30        # fail above +30 % wall time
+DEFAULT_MIN_BASELINE_S = 0.05  # ignore sub-50 ms baselines (scheduler noise)
+
+
+def record_path(root: Path, name: str) -> Path:
+    return root / f"BENCH_{name}.json"
+
+
+def load_current(root: Path, name: str) -> Optional[dict]:
+    path = record_path(root, name)
+    if not path.is_file():
+        return None
+    return json.loads(path.read_text())
+
+
+def load_committed(root: Path, name: str, ref: str = "HEAD") -> Optional[dict]:
+    """The record as committed at ``ref``, or None if absent there."""
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:BENCH_{name}.json"],
+        capture_output=True, text=True, cwd=root)
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def compare_records(current: dict, baseline: Optional[dict],
+                    budget: float = DEFAULT_BUDGET,
+                    min_baseline_s: float = DEFAULT_MIN_BASELINE_S) -> dict:
+    """Per-test and total wall-time comparison of two BENCH records.
+
+    A test regresses when its baseline is above the noise floor and
+    ``current > baseline * budget``; the record regresses when any test
+    does, or the total does.
+    """
+    module = current.get("module", "?")
+    if baseline is None:
+        return {"module": module, "status": "no-baseline", "budget": budget,
+                "regressed": False, "tests": [], "total": None}
+
+    base_by_test = {t["test"]: t for t in baseline.get("tests", [])}
+    tests: List[dict] = []
+    regressed = False
+    shared_wall = shared_base_wall = 0.0
+    for entry in current.get("tests", []):
+        name = entry["test"]
+        base = base_by_test.pop(name, None)
+        row = {"test": name, "wall_s": entry["wall_s"]}
+        if entry.get("outcome") not in (None, "passed"):
+            row["status"] = entry.get("outcome")
+        if base is None:
+            row["status"] = "new"
+        else:
+            shared_wall += entry["wall_s"]
+            shared_base_wall += base["wall_s"]
+            row["baseline_wall_s"] = base["wall_s"]
+            ratio = (entry["wall_s"] / base["wall_s"]
+                     if base["wall_s"] > 0 else float("inf"))
+            row["ratio"] = round(ratio, 3)
+            if base["wall_s"] < min_baseline_s:
+                row["status"] = "noise-floor"
+            elif ratio > budget:
+                row["status"] = "REGRESSED"
+                regressed = True
+            else:
+                row["status"] = "ok"
+        tests.append(row)
+
+    # Totals compare only tests present in both records, so adding or
+    # retiring a benchmark never trips the gate by itself.
+    total = {
+        "wall_s": shared_wall,
+        "baseline_wall_s": shared_base_wall,
+    }
+    if total["baseline_wall_s"] >= min_baseline_s:
+        total["ratio"] = round(total["wall_s"] / total["baseline_wall_s"], 3)
+        if total["ratio"] > budget:
+            total["status"] = "REGRESSED"
+            regressed = True
+        else:
+            total["status"] = "ok"
+    else:
+        total["status"] = "noise-floor"
+
+    return {"module": module, "status": "compared", "budget": budget,
+            "regressed": regressed, "tests": tests, "total": total,
+            "missing_tests": sorted(base_by_test)}
+
+
+def render_comparison(name: str, comparison: dict) -> str:
+    lines = [f"== BENCH_{name} (budget {comparison['budget']:.2f}x) =="]
+    if comparison["status"] == "no-baseline":
+        lines.append("  no committed baseline — recording first trend point")
+        return "\n".join(lines)
+    for row in comparison["tests"]:
+        base = row.get("baseline_wall_s")
+        detail = (f"{row['wall_s']:.3f}s vs {base:.3f}s "
+                  f"({row.get('ratio', 0.0):.2f}x)" if base is not None
+                  else f"{row['wall_s']:.3f}s")
+        lines.append(f"  {row['status']:>11}  {row['test']}: {detail}")
+    total = comparison["total"]
+    lines.append(f"  {total['status']:>11}  TOTAL: {total['wall_s']:.3f}s vs "
+                 f"{total['baseline_wall_s']:.3f}s")
+    for missing in comparison.get("missing_tests", []):
+        lines.append(f"       (gone)  {missing}: present in baseline only")
+    return "\n".join(lines)
+
+
+def discover_names(root: Path) -> List[str]:
+    return sorted(p.stem.removeprefix("BENCH_")
+                  for p in root.glob("BENCH_*.json"))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when BENCH_<name>.json wall time regresses past "
+                    "the budget vs the committed record.")
+    parser.add_argument("names", nargs="*",
+                        help="record names (e.g. substrate telemetry_overhead); "
+                             "default: every BENCH_*.json present")
+    parser.add_argument("--root", type=Path, default=Path.cwd(),
+                        help="repo root holding the BENCH files")
+    parser.add_argument("--ref", default="HEAD",
+                        help="git ref supplying the baseline (default: HEAD)")
+    parser.add_argument("--budget", type=float, default=DEFAULT_BUDGET,
+                        help="max allowed current/baseline wall-time ratio")
+    parser.add_argument("--min-baseline", type=float,
+                        default=DEFAULT_MIN_BASELINE_S,
+                        help="skip tests whose baseline is shorter than this")
+    parser.add_argument("--report", type=Path, default=None,
+                        help="write the full comparison as JSON to this file")
+    args = parser.parse_args(argv)
+
+    names = args.names or discover_names(args.root)
+    if not names:
+        print("no BENCH_*.json records found; run pytest benchmarks/ first",
+              file=sys.stderr)
+        return 2
+
+    comparisons = {}
+    failed = False
+    for name in names:
+        current = load_current(args.root, name)
+        if current is None:
+            print(f"BENCH_{name}.json missing from {args.root} — "
+                  "run its benchmark module first", file=sys.stderr)
+            return 2
+        baseline = load_committed(args.root, name, args.ref)
+        comparison = compare_records(current, baseline, budget=args.budget,
+                                     min_baseline_s=args.min_baseline)
+        comparisons[name] = comparison
+        print(render_comparison(name, comparison))
+        failed = failed or comparison["regressed"]
+
+    if args.report is not None:
+        args.report.write_text(json.dumps(
+            {"budget": args.budget, "ref": args.ref,
+             "records": comparisons}, indent=2) + "\n")
+        print(f"report written to {args.report}")
+
+    print("bench-trend: " + ("REGRESSION (wall time over budget)"
+                             if failed else "ok"))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,8 @@ prints its summary, e.g.::
 
 Observability (docs/observability.md)::
 
-    repro-experiments stats                     # instrumented quick run
+    repro-experiments stats --duration 20 --seed 3   # instrumented run
+    repro-experiments watch --refresh 0.5 --serve-port 0  # flight recorder
     repro-experiments fig9 --telemetry          # snapshot after the run
     repro-experiments fig9 --telemetry --telemetry-format prom \
         --telemetry-out metrics.prom
@@ -91,23 +92,86 @@ def _ablations(args) -> str:
     return "\n".join(parts)
 
 
-def _stats(args) -> str:
-    """A short instrumented fig9-style run; the 'result' is the metrics
-    snapshot itself (netsim, P4 stages, control plane, archiver)."""
-    telemetry.enable()
+def _instrumented_scenario(args):
+    """The shared stats/watch workload: two flows plus a mild seeded loss
+    impairment so the loss/alert paths light up deterministically."""
     from repro.experiments.common import Scenario, ScenarioConfig
 
-    duration = min(args.duration, 10.0)
-    log.info("stats: instrumented run, %.0f simulated seconds", duration)
     scenario = Scenario(
         ScenarioConfig(bottleneck_mbps=25.0, rtts_ms=(20.0, 30.0, 40.0),
                        reference_rtt_ms=40.0),
         with_perfsonar=True,
     )
+    duration = args.duration
     scenario.add_flow(0, duration_s=duration)
     scenario.add_flow(1, start_s=duration / 4, duration_s=duration)
+    scenario.add_path_loss(1, loss_rate=0.002, seed=args.seed)
+    return scenario, duration
+
+
+def _stats(args) -> str:
+    """An instrumented fig9-style run at the requested ``--duration`` and
+    ``--seed``; the 'result' is the metrics snapshot itself (netsim, P4
+    stages, control plane, archiver), rendered per ``--telemetry-format``."""
+    telemetry.enable()
+    log.info("stats: instrumented run, %.0f simulated seconds (seed %d)",
+             args.duration, args.seed)
+    scenario, duration = _instrumented_scenario(args)
     scenario.run(duration + 2.0)
     return _render_snapshot(args)
+
+
+def _watch(args) -> str:
+    """Flight-recorder mode: the stats workload with a time-series sampler
+    attached, a refreshing top-N/sparkline terminal view during the run,
+    telemetry events pushed into the archive, and (optionally) a live
+    Prometheus scrape endpoint for the duration of the run."""
+    telemetry.enable()
+    from repro.telemetry.serve import TelemetryHTTPServer, TelemetryPusher
+    from repro.telemetry.timeseries import TelemetrySampler
+    from repro.telemetry.watch import render_watch
+
+    scenario, duration = _instrumented_scenario(args)
+    interval_ns = max(1, int(args.sample_interval * 1e6))
+    sampler = TelemetrySampler(scenario.sim, interval_ns=interval_ns,
+                               retention=args.retention)
+    pusher = TelemetryPusher(scenario.perfsonar.archiver.sink)
+    sampler.add_observer(pusher)
+
+    clear = "\x1b[H\x1b[2J" if sys.stdout.isatty() else ""
+    frame_every = max(1, int(args.refresh * 1e9 / interval_ns))
+
+    def frame(t_ns, _records) -> None:
+        if sampler.samples_taken % frame_every:
+            return
+        alerts = scenario.control_plane.alerts.active_alerts
+        print(clear + render_watch(sampler.store, top=args.top, now_ns=t_ns,
+                                   samples=sampler.samples_taken,
+                                   alerts=alerts), flush=True)
+
+    sampler.add_observer(frame)
+    sampler.start()
+
+    server = None
+    if args.serve_port is not None:
+        server = TelemetryHTTPServer(store=sampler.store, port=args.serve_port)
+        host, port = server.start()
+        log.info("scrape endpoint live at http://%s:%d/metrics", host, port)
+    try:
+        scenario.run(duration + 2.0)
+    finally:
+        sampler.stop()
+        if server is not None:
+            server.close()
+
+    final = render_watch(sampler.store, top=args.top, now_ns=scenario.sim.now,
+                         samples=sampler.samples_taken,
+                         alerts=scenario.control_plane.alerts.active_alerts)
+    archived = scenario.perfsonar.archiver.telemetry_count()
+    return (final + f"\narchived {archived} repro_telemetry events "
+            f"({pusher.events_pushed} pushed) alongside "
+            f"{scenario.perfsonar.archiver.output.documents_written - archived} "
+            "measurement documents")
 
 
 EXPERIMENTS: Dict[str, Callable] = {
@@ -120,6 +184,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "table1": _table1,
     "ablations": _ablations,
     "stats": _stats,
+    "watch": _watch,
 }
 
 
@@ -131,13 +196,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
-        help="which table/figure to regenerate ('stats' runs a short "
-             "instrumented scenario and prints the telemetry snapshot)",
+        help="which table/figure to regenerate ('stats' runs an "
+             "instrumented scenario and prints the telemetry snapshot; "
+             "'watch' adds the live flight-recorder view)",
     )
     parser.add_argument("--duration", type=float, default=40.0,
                         help="workload duration in simulated seconds")
     parser.add_argument("--join", type=float, default=15.0,
                         help="join time of the third flow (fig9/10/11)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="impairment RNG seed for stats/watch runs")
     parser.add_argument("--quick", action="store_true",
                         help="short runs (duration 20, join 8)")
     parser.add_argument("-v", "--verbose", action="store_true",
@@ -152,6 +220,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="snapshot rendering (default: table)")
     parser.add_argument("--telemetry-out", metavar="FILE", default=None,
                         help="also write the snapshot to FILE")
+    watch = parser.add_argument_group("flight recorder (watch mode)")
+    watch.add_argument("--sample-interval", type=float, default=100.0,
+                       metavar="MS",
+                       help="sim-time sampling interval in milliseconds "
+                            "(default: 100)")
+    watch.add_argument("--retention", type=int, default=600,
+                       help="ring-buffer points kept per series before "
+                            "downsampling (default: 600)")
+    watch.add_argument("--refresh", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="sim seconds between watch frames (default: 1)")
+    watch.add_argument("--top", type=int, default=12,
+                       help="series shown in the watch view (default: 12)")
+    watch.add_argument("--serve-port", type=int, default=None, metavar="PORT",
+                       help="serve /metrics (Prometheus exposition) and "
+                            "/series on this port during the run; 0 picks "
+                            "a free port")
     return parser
 
 
@@ -189,12 +274,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         telemetry.enable()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.experiment == "all":
-        names.remove("stats")  # 'all' means the paper artifacts
+        # 'all' means the paper artifacts, not the self-telemetry modes.
+        names.remove("stats")
+        names.remove("watch")
     for name in names:
         log.info("running %s (duration=%.0fs)", name, args.duration)
         print(f"\n{'=' * 70}\n  {name}\n{'=' * 70}")
         print(EXPERIMENTS[name](args))
-    if args.telemetry and args.experiment != "stats":
+    if args.telemetry and args.experiment not in ("stats", "watch"):
         print(f"\n{'=' * 70}\n  telemetry\n{'=' * 70}")
         print(_render_snapshot(args))
     return 1 if getattr(args, "_telemetry_write_failed", False) else 0

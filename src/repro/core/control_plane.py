@@ -126,6 +126,12 @@ class MonitorControlPlane:
                 "runtime API register read calls issued by the control plane")
             telemetry.registry().add_collector(
                 lambda _reg, rt=self.runtime: reads_gauge.set(rt.register_reads))
+            alerts_gauge = telemetry.gauge(
+                "repro_cp_active_alerts",
+                "alerts currently held active, per metric class",
+                labels=("metric",))
+            telemetry.registry().add_collector(
+                lambda _reg, cp=self, g=alerts_gauge: cp._collect_alerts(g))
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -429,6 +435,13 @@ class MonitorControlPlane:
         self.monitor.flow_table.release_slot(flow.slot)
         self.alerts.drop_flow(flow.flow_id)
         self.limiter.forget(flow.flow_id)
+
+    def _collect_alerts(self, gauge) -> None:
+        counts = {kind.value: 0 for kind in MetricKind}
+        for alert in self.alerts.active_alerts:
+            counts[alert.metric] = counts.get(alert.metric, 0) + 1
+        for metric, n in counts.items():
+            gauge.labels(metric).set(n)
 
     def _ship(self, report: object) -> None:
         if self.report_sink is not None:

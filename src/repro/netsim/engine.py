@@ -43,6 +43,37 @@ class Event:
         return f"Event(t={self.time_ns}ns, fn={getattr(self.fn, '__qualname__', self.fn)}, {state})"
 
 
+class PeriodicEvent:
+    """Handle for a self-rescheduling timer created by :meth:`Simulator.every`.
+
+    The callback fires every ``interval_ns`` until ``cancel()``; cancelling
+    from inside the callback stops the timer cleanly (no further firings).
+    """
+
+    __slots__ = ("sim", "interval_ns", "fn", "args", "cancelled", "_event")
+
+    def __init__(self, sim: "Simulator", interval_ns: int,
+                 fn: Callable[..., Any], args: tuple):
+        self.sim = sim
+        self.interval_ns = interval_ns
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self._event: Optional[Event] = None
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.fn(*self.args)
+        if not self.cancelled:
+            self._event = self.sim.after(self.interval_ns, self._fire)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+
+
 class Simulator:
     """Nanosecond-resolution discrete-event simulator.
 
@@ -93,6 +124,26 @@ class Simulator:
         if delay_ns < 0:
             raise ValueError(f"negative delay: {delay_ns}")
         return self.at(self.now + delay_ns, fn, *args)
+
+    def every(self, interval_ns: int, fn: Callable[..., Any], *args: Any,
+              align: bool = False) -> PeriodicEvent:
+        """Schedule ``fn(*args)`` every ``interval_ns`` nanoseconds.
+
+        With ``align=True`` the first firing lands on the next multiple of
+        ``interval_ns`` (so periodic samplers tick at t = k·interval
+        regardless of when they start); otherwise it fires one interval
+        from now.  Returns a :class:`PeriodicEvent` whose ``cancel()``
+        stops the series.
+        """
+        if interval_ns <= 0:
+            raise ValueError(f"interval must be positive: {interval_ns}")
+        timer = PeriodicEvent(self, interval_ns, fn, args)
+        if align:
+            first = (self.now // interval_ns + 1) * interval_ns
+        else:
+            first = self.now + interval_ns
+        timer._event = self.at(first, timer._fire)
+        return timer
 
     # -- execution ---------------------------------------------------------
 

@@ -80,6 +80,33 @@ class Archiver:
                 seen.setdefault(fid, None)
         return list(seen)
 
+    # -- flight-recorder documents (repro_telemetry events) --------------------
+
+    TELEMETRY_KIND = "repro_telemetry"
+
+    def telemetry_count(self) -> int:
+        """Self-telemetry documents pushed into the archive by a
+        :class:`~repro.telemetry.serve.TelemetryPusher`."""
+        return self.count(self.TELEMETRY_KIND)
+
+    def telemetry_metrics(self) -> List[str]:
+        """Distinct metric names present in the telemetry index."""
+        seen: Dict[str, None] = {}
+        for doc in self.documents(self.TELEMETRY_KIND):
+            name = doc.get("metric")
+            if name is not None:
+                seen.setdefault(name, None)
+        return list(seen)
+
+    def telemetry_series(self, metric: str,
+                         value_field: str = "value") -> List[tuple]:
+        """(t_s, value) series of one instrument metric, straight from the
+        archive — what a Grafana panel over the instrument would query."""
+        return [
+            (doc.get("@timestamp", 0.0), doc.get(value_field, 0.0))
+            for doc in self.documents(self.TELEMETRY_KIND, metric=metric)
+        ]
+
     def apply_retention(self, policy, now_s: float) -> int:
         """Run a :class:`~repro.perfsonar.opensearch.RetentionPolicy`
         over every raw index (skips the -longterm companions).  Returns

@@ -154,6 +154,12 @@ class ThrottleFilter:
         self.time_field = time_field
         self._windows: Dict[tuple, tuple] = {}  # key -> (window_start, count)
         self.throttled = 0
+        self._tel_throttled = None
+        if telemetry.enabled():
+            self._tel_throttled = telemetry.counter(
+                "repro_logstash_throttled_total",
+                "events dropped by the throttle filter, per key set",
+                labels=("keys",)).labels(",".join(self.key_fields) or "-")
 
     def __call__(self, event: dict) -> Optional[dict]:
         ts = float(event.get(self.time_field, 0.0))
@@ -164,6 +170,8 @@ class ThrottleFilter:
         if count >= self.max_events:
             self._windows[key] = (start, count)
             self.throttled += 1
+            if self._tel_throttled is not None:
+                self._tel_throttled.inc()
             return None
         self._windows[key] = (start, count + 1)
         return event
@@ -179,6 +187,18 @@ class AggregateTestFilter:
 
     def __init__(self) -> None:
         self.collapsed = 0
+        self._tel_aggregated = None
+        if telemetry.enabled():
+            self._tel_aggregated = telemetry.counter(
+                "repro_logstash_aggregated_total",
+                "interval-sample sets collapsed to summary statistics by "
+                "the default-perfSONAR aggregation filter, per test type",
+                labels=("type",))
+
+    def _count(self, etype: str) -> None:
+        self.collapsed += 1
+        if self._tel_aggregated is not None:
+            self._tel_aggregated.labels(etype).inc()
 
     def __call__(self, event: dict) -> Optional[dict]:
         etype = event.get("type")
@@ -186,7 +206,7 @@ class AggregateTestFilter:
             values = [s["throughput_bps"] for s in event["intervals"]]
             out = {k: v for k, v in event.items() if k != "intervals"}
             out["value"] = sum(values) / len(values) if values else 0.0
-            self.collapsed += 1
+            self._count(etype)
             return out
         if etype == "rtt" and "samples_ms" in event:
             samples = event["samples_ms"]
@@ -195,6 +215,6 @@ class AggregateTestFilter:
                 out["min_ms"] = min(samples)
                 out["max_ms"] = max(samples)
                 out["mean_ms"] = sum(samples) / len(samples)
-            self.collapsed += 1
+            self._count(etype)
             return out
         return event

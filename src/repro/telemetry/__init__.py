@@ -32,6 +32,7 @@ from typing import Optional, Sequence
 
 from repro.telemetry.export import (
     from_json,
+    histogram_quantile,
     render_table,
     to_json,
     to_prometheus_text,
@@ -47,14 +48,33 @@ from repro.telemetry.metrics import (
     TelemetryError,
 )
 from repro.telemetry.spans import NULL_SPAN, Tracer
+from repro.telemetry.timeseries import (
+    DEFAULT_INTERVAL_NS,
+    DEFAULT_RETENTION,
+    TelemetrySampler,
+    TimeSeries,
+    TimeSeriesPoint,
+    TimeSeriesStore,
+)
+from repro.telemetry.serve import (
+    PROM_CONTENT_TYPE,
+    TelemetryHTTPServer,
+    TelemetryPusher,
+)
+from repro.telemetry.watch import render_watch, sparkline
 
 __all__ = [
     "enable", "disable", "enabled", "registry", "tracer", "reset",
     "counter", "gauge", "histogram", "span", "traced", "snapshot",
     "to_prometheus_text", "to_json", "from_json", "render_table",
+    "histogram_quantile",
     "Counter", "Gauge", "Histogram", "MetricFamily", "MetricsRegistry",
     "TelemetryError", "Tracer", "NULL_SPAN",
     "LATENCY_BUCKETS_NS", "SIZE_BUCKETS",
+    "TelemetrySampler", "TimeSeries", "TimeSeriesPoint", "TimeSeriesStore",
+    "DEFAULT_INTERVAL_NS", "DEFAULT_RETENTION",
+    "TelemetryHTTPServer", "TelemetryPusher", "PROM_CONTENT_TYPE",
+    "render_watch", "sparkline",
 ]
 
 _registry = MetricsRegistry()

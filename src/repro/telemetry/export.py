@@ -18,7 +18,8 @@ import math
 import re
 from typing import List
 
-__all__ = ["to_prometheus_text", "to_json", "from_json", "render_table"]
+__all__ = ["to_prometheus_text", "to_json", "from_json", "render_table",
+           "histogram_quantile"]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 _LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
@@ -84,6 +85,29 @@ def from_json(text: str) -> dict:
     return json.loads(text)
 
 
+def histogram_quantile(series: dict, q: float) -> float:
+    """Bucket-upper-bound estimate of the ``q`` quantile (0..1) from a
+    dumped histogram series (``{"buckets", "counts", "count", "max"}``) —
+    the snapshot-side twin of :meth:`Histogram.quantile`, so exporters
+    and the watch view can derive p50/p90/p99 without the live object."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    count = series.get("count", 0)
+    if not count:
+        return 0.0
+    bounds = series["buckets"]
+    observed_max = series.get("max")
+    if observed_max is None:
+        observed_max = bounds[-1]
+    rank = q * count
+    seen = 0
+    for i, c in enumerate(series["counts"]):
+        seen += c
+        if seen >= rank and c:
+            return bounds[i] if i < len(bounds) else observed_max
+    return observed_max
+
+
 def _fmt(value: float) -> str:
     if value is None:
         return "-"
@@ -100,7 +124,7 @@ def _fmt(value: float) -> str:
 
 def render_table(snapshot: dict) -> str:
     """Aligned ``name  labels  value`` table; histograms show
-    count/mean/p50/p99/max instead of a raw value."""
+    count/mean/p50/p90/p99/max instead of a raw value."""
     rows: List[tuple] = []
     for metric in snapshot.get("metrics", []):
         for series in metric.get("series", []):
@@ -110,6 +134,9 @@ def render_table(snapshot: dict) -> str:
                 count = series["count"]
                 mean = series["sum"] / count if count else 0.0
                 value = (f"n={_fmt(count)} mean={_fmt(mean)} "
+                         f"p50={_fmt(histogram_quantile(series, 0.50))} "
+                         f"p90={_fmt(histogram_quantile(series, 0.90))} "
+                         f"p99={_fmt(histogram_quantile(series, 0.99))} "
                          f"max={_fmt(series['max'])}" if count else "n=0")
             else:
                 value = _fmt(series["value"])

@@ -1,0 +1,176 @@
+"""Live export: scrape endpoint + archive push.
+
+Two ways out for the flight recorder's data while a run is in flight:
+
+- :class:`TelemetryHTTPServer` — a background-thread HTTP server with a
+  Prometheus-exposition ``/metrics`` scrape endpoint (plus ``/series``
+  for the ring buffers and ``/healthz``), so an external Prometheus can
+  scrape the instrument mid-run exactly as it would scrape a
+  node-exporter;
+- :class:`TelemetryPusher` — a sampler observer that wraps each retained
+  sample as a ``repro_telemetry`` event and pushes it through a Logstash
+  sink (normally :meth:`~repro.perfsonar.archiver.Archiver.sink`), so
+  the instrument's own health lands in the OpenSearch-like archive next
+  to the Report_v1 documents it produces.
+
+The server reads plain dicts/floats under the GIL; the simulation is
+single-threaded, so a scrape between events always observes a complete
+snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, List, Optional
+
+from repro.telemetry.export import to_json, to_prometheus_text
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.timeseries import TimeSeriesStore
+
+__all__ = ["TelemetryHTTPServer", "TelemetryPusher", "PROM_CONTENT_TYPE"]
+
+log = logging.getLogger("repro.telemetry.serve")
+
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-telemetry/1.0"
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        owner: "TelemetryHTTPServer" = self.server.owner  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = to_prometheus_text(owner.snapshot())
+            self._reply(200, PROM_CONTENT_TYPE, body)
+        elif path == "/metrics.json":
+            self._reply(200, "application/json", to_json(owner.snapshot()))
+        elif path == "/series":
+            store = owner.store
+            if store is None:
+                self._reply(404, "text/plain", "no time-series store attached\n")
+            else:
+                self._reply(200, "application/json",
+                            json.dumps(store.dump(), sort_keys=True))
+        elif path == "/healthz":
+            self._reply(200, "text/plain", "ok\n")
+        else:
+            self._reply(404, "text/plain",
+                        "try /metrics, /metrics.json, /series or /healthz\n")
+
+    def _reply(self, status: int, ctype: str, body: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, fmt: str, *args) -> None:
+        log.debug("scrape %s", fmt % args)
+
+
+class TelemetryHTTPServer:
+    """Background scrape server over a registry (and optionally a store).
+
+    ``port=0`` (the default) binds an ephemeral port; :meth:`start`
+    returns ``(host, port)`` and :attr:`url` gives the base address.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 store: Optional[TimeSeriesStore] = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        # None → the process-global registry, resolved per scrape so a
+        # telemetry.reset() can't leave the server bound to a dead registry.
+        self._registry = registry
+        self.store = store
+        self.host = host
+        self.port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def snapshot(self) -> dict:
+        if self._registry is not None:
+            return self._registry.snapshot()
+        from repro import telemetry
+        return telemetry.snapshot()
+
+    def start(self) -> tuple:
+        if self._httpd is not None:
+            return self._httpd.server_address
+        httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        httpd.daemon_threads = True
+        httpd.owner = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self.port = httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=httpd.serve_forever, name="repro-telemetry-scrape", daemon=True)
+        self._thread.start()
+        log.info("telemetry scrape endpoint on %s", self.url)
+        return httpd.server_address
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "TelemetryHTTPServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TelemetryPusher:
+    """Sampler observer → ``repro_telemetry`` events into a report sink.
+
+    Each retained sample becomes one event shaped like the control
+    plane's Report_v1 documents (``type`` routes it to its own index in
+    the OpenSearch output plugin), carrying raw value, delta and rate so
+    dashboards can plot the instrument without a PromQL layer::
+
+        sampler.add_observer(TelemetryPusher(archiver.sink))
+
+    ``include`` optionally filters by metric name (callable → bool);
+    use it to keep archive volume down on huge registries.
+    """
+
+    EVENT_TYPE = "repro_telemetry"
+
+    def __init__(self, sink: Callable[[dict], None],
+                 source: str = "repro-flight-recorder",
+                 include: Optional[Callable[[str], bool]] = None) -> None:
+        self.sink = sink
+        self.source = source
+        self.include = include
+        self.events_pushed = 0
+
+    def __call__(self, t_ns: int, records: List[dict]) -> None:
+        for rec in records:
+            if self.include is not None and not self.include(rec["metric"]):
+                continue
+            self.sink({
+                "type": self.EVENT_TYPE,
+                "@timestamp": t_ns / 1e9,
+                "time_ns": t_ns,
+                "source": self.source,
+                "metric": rec["metric"],
+                "labels": rec["labels"],
+                "kind": rec["kind"],
+                "value": rec["value"],
+                "delta": rec["delta"],
+                "rate_per_s": rec["rate"],
+            })
+            self.events_pushed += 1

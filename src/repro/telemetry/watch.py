@@ -1,0 +1,96 @@
+"""Terminal flight-recorder view: top-N series + sparklines + alerts.
+
+:func:`render_watch` turns a :class:`~repro.telemetry.timeseries.TimeSeriesStore`
+into one text frame — the ``repro-experiments watch`` CLI mode prints a
+frame per refresh interval while the run is in flight, giving the
+`watch(1)`-style live view the paper's Grafana dashboards provide for
+the measured network, but for the instrument itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.telemetry.export import _fmt  # shared human number formatting
+from repro.telemetry.timeseries import TimeSeriesStore
+
+__all__ = ["sparkline", "render_watch"]
+
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 24) -> str:
+    """Unicode block sparkline of the last ``width`` values."""
+    vals = list(values)[-width:]
+    if not vals:
+        return ""
+    lo = min(vals)
+    hi = max(vals)
+    span = hi - lo
+    if span <= 0:
+        return SPARK_LEVELS[0] * len(vals)
+    top = len(SPARK_LEVELS) - 1
+    return "".join(
+        SPARK_LEVELS[int(round((v - lo) / span * top))] for v in vals)
+
+
+def _alert_line(alerts) -> str:
+    """One-line alert state from a list of ``Alert``-shaped objects."""
+    if not alerts:
+        return "alerts: none"
+    parts = []
+    for alert in alerts[:4]:
+        flow = f" flow {alert.flow_id}" if alert.flow_id is not None else ""
+        parts.append(f"{alert.metric}{flow} "
+                     f"({_fmt(alert.value)} > {_fmt(alert.threshold)})")
+    more = f" (+{len(alerts) - 4} more)" if len(alerts) > 4 else ""
+    return f"alerts: {len(alerts)} active — " + ", ".join(parts) + more
+
+
+def render_watch(store: TimeSeriesStore, top: int = 12, width: int = 24,
+                 now_ns: Optional[int] = None, samples: Optional[int] = None,
+                 alerts: Optional[list] = None) -> str:
+    """One watch frame: header, top-N table with sparklines, alert line.
+
+    Series are ranked by how fast they are moving right now (|last
+    delta|); the sparkline plots per-sample deltas, so a steady counter
+    reads flat and a burst reads as a spike — the same reason the
+    archive stores deltas alongside raw values.
+    """
+    header = "flight recorder"
+    if now_ns is not None:
+        header += f"  t={now_ns / 1e9:.2f}s"
+    if samples is not None:
+        header += f"  samples={samples}"
+    header += (f"  series={len(store)}  points={store.total_points()}"
+               f" (cap {store.retention}/series)")
+
+    rows: List[tuple] = []
+    for series in store.top(top):
+        last = series.last
+        if last is None:
+            continue
+        label_s = ",".join(f"{k}={v}" for k, v in series.labels)
+        rows.append((
+            series.name,
+            label_s,
+            _fmt(last.value),
+            _fmt(last.delta),
+            _fmt(last.rate),
+            sparkline(series.deltas(), width),
+        ))
+    if not rows:
+        return header + "\n(no samples yet)\n" + _alert_line(alerts) + "\n"
+
+    heads = ("metric", "labels", "value", "delta", "rate/s", "delta trend")
+    widths = [max(len(heads[i]), max(len(r[i]) for r in rows))
+              for i in range(5)]
+    lines = [header,
+             "  ".join(h.ljust(widths[i]) if i < 5 else h
+                       for i, h in enumerate(heads))]
+    lines.append("-" * len(lines[1]))
+    for row in rows:
+        lines.append("  ".join(
+            row[i].ljust(widths[i]) if i < 5 else row[i] for i in range(6)))
+    lines.append(_alert_line(alerts))
+    return "\n".join(lines) + "\n"

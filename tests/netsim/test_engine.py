@@ -162,3 +162,58 @@ def test_property_cancelled_never_run(times, data):
         events[i].cancel()
     sim.run()
     assert set(seen) == set(range(len(times))) - to_cancel
+
+
+# -- periodic timers (Simulator.every) ----------------------------------------
+
+
+def test_every_fires_at_fixed_interval(sim):
+    times = []
+    sim.every(100, lambda: times.append(sim.now))
+    sim.run_until(500)
+    assert times == [100, 200, 300, 400, 500]
+
+
+def test_every_align_snaps_to_interval_multiples(sim):
+    sim.at(37, lambda: None)
+    sim.run()
+    assert sim.now == 37
+    times = []
+    sim.every(100, lambda: times.append(sim.now), align=True)
+    sim.run_until(350)
+    assert times == [100, 200, 300]
+
+
+def test_every_cancel_stops_future_firings(sim):
+    times = []
+    timer = sim.every(10, lambda: times.append(sim.now))
+    sim.at(35, timer.cancel)
+    sim.run_until(100)
+    assert times == [10, 20, 30]
+
+
+def test_every_cancel_from_inside_callback(sim):
+    times = []
+
+    def tick():
+        times.append(sim.now)
+        if len(times) == 2:
+            timer.cancel()
+
+    timer = sim.every(10, tick)
+    sim.run_until(100)
+    assert times == [10, 20]
+
+
+def test_every_rejects_nonpositive_interval(sim):
+    with pytest.raises(ValueError):
+        sim.every(0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.every(-5, lambda: None)
+
+
+def test_every_passes_args(sim):
+    got = []
+    sim.every(10, got.append, "x")
+    sim.run_until(20)
+    assert got == ["x", "x"]

@@ -73,3 +73,35 @@ def test_render_table():
 
 def test_render_table_empty():
     assert "no metrics" in render_table({"metrics": []})
+
+
+def test_histogram_quantile_from_dump():
+    from repro.telemetry.export import histogram_quantile
+    from repro.telemetry.metrics import Histogram
+
+    hist = Histogram(buckets=(10, 100, 1000))
+    for v in (5, 50, 500, 5000):
+        hist.observe(v)
+    dump = hist.dump()
+    # Estimates match the live object's bucket-upper-bound method.
+    for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+        assert histogram_quantile(dump, q) == hist.quantile(q)
+    assert histogram_quantile(dump, 0.5) == 100
+    assert histogram_quantile(dump, 0.99) == 5000  # overflow → observed max
+
+
+def test_histogram_quantile_empty_and_bounds():
+    import pytest
+
+    from repro.telemetry.export import histogram_quantile
+
+    empty = {"buckets": [10, 100], "counts": [0, 0, 0], "count": 0,
+             "sum": 0.0, "min": None, "max": None}
+    assert histogram_quantile(empty, 0.5) == 0.0
+    with pytest.raises(ValueError):
+        histogram_quantile(empty, 1.5)
+
+
+def test_render_table_shows_quantiles():
+    table = render_table(sample_registry().snapshot())
+    assert "p50=" in table and "p90=" in table and "p99=" in table

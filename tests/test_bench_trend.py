@@ -1,0 +1,173 @@
+"""Bench-trend regression gate (benchmarks/trend.py)."""
+
+import json
+import subprocess
+
+import pytest
+
+from benchmarks.trend import (
+    compare_records,
+    discover_names,
+    load_committed,
+    main,
+    render_comparison,
+)
+
+
+def _record(module="test_x", tests=None, total=None):
+    tests = tests if tests is not None else [
+        {"test": "test_a", "outcome": "passed", "wall_s": 1.0},
+        {"test": "test_b", "outcome": "passed", "wall_s": 2.0},
+    ]
+    return {
+        "schema": "repro-bench-v1",
+        "module": module,
+        "tests": tests,
+        "total_wall_s": total if total is not None
+        else sum(t["wall_s"] for t in tests),
+    }
+
+
+def test_compare_within_budget_passes():
+    base = _record()
+    cur = _record(tests=[
+        {"test": "test_a", "outcome": "passed", "wall_s": 1.2},
+        {"test": "test_b", "outcome": "passed", "wall_s": 2.1},
+    ])
+    result = compare_records(cur, base, budget=1.30)
+    assert not result["regressed"]
+    assert all(r["status"] == "ok" for r in result["tests"])
+    assert result["total"]["status"] == "ok"
+
+
+def test_compare_flags_per_test_regression():
+    base = _record()
+    cur = _record(tests=[
+        {"test": "test_a", "outcome": "passed", "wall_s": 1.5},  # +50 %
+        {"test": "test_b", "outcome": "passed", "wall_s": 2.0},
+    ])
+    result = compare_records(cur, base, budget=1.30)
+    assert result["regressed"]
+    by_test = {r["test"]: r["status"] for r in result["tests"]}
+    assert by_test["test_a"] == "REGRESSED"
+    assert by_test["test_b"] == "ok"
+
+
+def test_compare_flags_total_regression():
+    # A noise-floor baseline escapes its per-test check, but its blow-up
+    # still shows in the shared-test total — the total check's job.
+    base = _record(tests=[
+        {"test": "test_a", "outcome": "passed", "wall_s": 0.01},
+        {"test": "test_b", "outcome": "passed", "wall_s": 2.99},
+    ])
+    cur = _record(tests=[
+        {"test": "test_a", "outcome": "passed", "wall_s": 2.0},
+        {"test": "test_b", "outcome": "passed", "wall_s": 3.0},
+    ])
+    result = compare_records(cur, base, budget=1.30)
+    assert result["regressed"]
+    by_test = {r["test"]: r["status"] for r in result["tests"]}
+    assert by_test["test_a"] == "noise-floor"
+    assert by_test["test_b"] == "ok"
+    assert result["total"]["status"] == "REGRESSED"
+
+
+def test_compare_skips_noise_floor_baselines():
+    base = _record(tests=[{"test": "test_a", "outcome": "passed",
+                           "wall_s": 0.01}])
+    cur = _record(tests=[{"test": "test_a", "outcome": "passed",
+                          "wall_s": 0.04}])  # 4x, but sub-50 ms baseline
+    result = compare_records(cur, base, budget=1.30, min_baseline_s=0.05)
+    assert not result["regressed"]
+    assert result["tests"][0]["status"] == "noise-floor"
+
+
+def test_compare_handles_new_and_missing_tests():
+    base = _record()
+    cur = _record(tests=[
+        {"test": "test_a", "outcome": "passed", "wall_s": 1.0},
+        {"test": "test_c", "outcome": "passed", "wall_s": 9.0},  # new
+    ])
+    result = compare_records(cur, base, budget=1.30)
+    assert not result["regressed"]  # new tests have no baseline to regress
+    by_test = {r["test"]: r["status"] for r in result["tests"]}
+    assert by_test["test_c"] == "new"
+    assert result["missing_tests"] == ["test_b"]
+
+
+def test_compare_without_baseline_is_first_trend_point():
+    result = compare_records(_record(), None)
+    assert result["status"] == "no-baseline"
+    assert not result["regressed"]
+    assert "first trend point" in render_comparison("x", result)
+
+
+# -- end to end against a real git repo ---------------------------------------
+
+
+@pytest.fixture
+def bench_repo(tmp_path):
+    """A git repo with one committed BENCH record."""
+    subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+    subprocess.run(["git", "-c", "user.email=t@t", "-c", "user.name=t",
+                    "commit", "-q", "--allow-empty", "-m", "root"],
+                   cwd=tmp_path, check=True)
+    record = _record()
+    (tmp_path / "BENCH_x.json").write_text(json.dumps(record))
+    subprocess.run(["git", "add", "BENCH_x.json"], cwd=tmp_path, check=True)
+    subprocess.run(["git", "-c", "user.email=t@t", "-c", "user.name=t",
+                    "commit", "-q", "-m", "bench"], cwd=tmp_path, check=True)
+    return tmp_path
+
+
+def test_load_committed_reads_git_baseline(bench_repo):
+    baseline = load_committed(bench_repo, "x")
+    assert baseline is not None and baseline["module"] == "test_x"
+    assert load_committed(bench_repo, "unknown") is None
+
+
+def test_main_passes_within_budget_and_writes_report(bench_repo, capsys):
+    report = bench_repo / "trend-report.json"
+    rc = main(["x", "--root", str(bench_repo), "--report", str(report)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "bench-trend: ok" in out
+    data = json.loads(report.read_text())
+    assert data["records"]["x"]["status"] == "compared"
+
+
+def test_main_fails_on_regression(bench_repo, capsys):
+    slow = _record(tests=[
+        {"test": "test_a", "outcome": "passed", "wall_s": 5.0},
+        {"test": "test_b", "outcome": "passed", "wall_s": 2.0},
+    ])
+    (bench_repo / "BENCH_x.json").write_text(json.dumps(slow))
+    rc = main(["x", "--root", str(bench_repo)])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "REGRESSED" in out
+
+
+def test_main_errors_on_missing_current_record(bench_repo, capsys):
+    assert main(["ghost", "--root", str(bench_repo)]) == 2
+
+
+def test_discover_names(bench_repo):
+    (bench_repo / "BENCH_other.json").write_text("{}")
+    assert discover_names(bench_repo) == ["other", "x"]
+
+
+def test_repo_committed_records_pass_against_themselves(tmp_path, capsys):
+    """The committed BENCH records compared to themselves are ratio 1.0 —
+    the gate's fixed point (run against this repo's own HEAD)."""
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parent.parent
+    names = [n for n in ("substrate", "telemetry_overhead")
+             if load_committed(root, n) is not None]
+    if not names:
+        pytest.skip("no committed BENCH records at HEAD")
+    for name in names:
+        baseline = load_committed(root, name)
+        result = compare_records(baseline, baseline)
+        assert not result["regressed"]

@@ -1,8 +1,22 @@
 """Experiment-runner CLI."""
 
+import json
+
 import pytest
 
+from repro import telemetry
 from repro.cli import EXPERIMENTS, build_parser, main
+
+
+@pytest.fixture
+def clean_telemetry():
+    """stats/watch enable the process-global telemetry switch; leave the
+    process dark afterwards so later tests build uninstrumented components."""
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
 
 
 def test_parser_accepts_known_experiments():
@@ -35,3 +49,70 @@ def test_main_runs_fig12_quick(capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "verdict" in out
+
+
+def test_stats_honours_duration_and_seed(clean_telemetry, capsys):
+    """`stats` no longer caps the run at a hard-coded 10 s; --duration and
+    --seed flow through, and output follows --telemetry-format."""
+    rc = main(["stats", "--duration", "3", "--seed", "11",
+               "--telemetry-format", "json"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    payload = out[out.index("{"):]
+    snap = json.loads(payload)
+    names = {m["name"] for m in snap["metrics"]}
+    assert "repro_netsim_events_total" in names
+    assert "repro_cp_active_alerts" in names
+
+
+def test_stats_duration_not_capped():
+    """The old implementation clamped to min(duration, 10); the parser
+    value must now reach the scenario untouched."""
+    args = build_parser().parse_args(["stats", "--duration", "25"])
+    assert args.duration == 25.0
+    assert args.seed == 7  # default
+
+
+def test_watch_prints_flight_recorder_frames(clean_telemetry, capsys):
+    rc = main(["watch", "--duration", "2", "--refresh", "0.5",
+               "--sample-interval", "100", "--retention", "64", "--top", "8"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.count("flight recorder") >= 2  # frames during run + final
+    assert "delta trend" in out
+    assert "alerts:" in out
+    assert "archived" in out and "repro_telemetry" in out
+
+
+def test_watch_serves_scrape_endpoint_mid_run(clean_telemetry, capsys,
+                                              monkeypatch):
+    """An external scraper hitting /metrics while the simulation thread
+    is still inside scenario.run() gets valid exposition text — the
+    server runs in its own daemon thread, closed when the run ends."""
+    import threading
+    from urllib.request import urlopen
+
+    from repro.telemetry import serve
+
+    scraped = {}
+    real_start = serve.TelemetryHTTPServer.start
+
+    def start_and_scrape(self):
+        addr = real_start(self)
+
+        def scrape():
+            with urlopen(f"{self.url}/metrics", timeout=10) as resp:
+                scraped["body"] = resp.read().decode()
+
+        thread = threading.Thread(target=scrape, daemon=True)
+        thread.start()
+        scraped["thread"] = thread
+        return addr
+
+    monkeypatch.setattr(serve.TelemetryHTTPServer, "start", start_and_scrape)
+
+    rc = main(["watch", "--duration", "2", "--serve-port", "0"])
+    assert rc == 0
+    capsys.readouterr()
+    scraped["thread"].join(timeout=10)
+    assert "# TYPE repro_netsim_events_total counter" in scraped["body"]
