@@ -174,6 +174,78 @@ def _watch(args) -> str:
             "measurement documents")
 
 
+def _seeds(value) -> list:
+    """``--seed`` accepts a single integer or an inclusive range 'A..B'."""
+    if isinstance(value, int):
+        return [value]
+    text = str(value)
+    if ".." in text:
+        lo, hi = text.split("..", 1)
+        lo_i, hi_i = int(lo), int(hi)
+        if hi_i < lo_i:
+            raise ValueError(f"empty seed range {text!r}")
+        return list(range(lo_i, hi_i + 1))
+    return [int(text)]
+
+
+def _seed_spec(text: str):
+    """argparse type for --seed: int for plain values, verbatim for
+    'A..B' ranges (validated here, expanded by :func:`_seeds`)."""
+    if ".." in text:
+        _seeds(text)  # raises on malformed/empty ranges
+        return text
+    return int(text)
+
+
+def _validate(args) -> str:
+    """Differential validation: run seeded scenarios with the ground-truth
+    oracle attached and check every P4-side metric against truth (see
+    docs/validation.md).  Failing seeds are shrunk to a minimal scenario
+    and serialised as replayable JSON artifacts."""
+    from pathlib import Path
+
+    from repro.validation.fuzz import fuzz_seed, load_artifact, run_spec
+
+    lines = []
+    failed = False
+
+    def _report_lines(name: str, report) -> None:
+        nonlocal failed
+        status = "pass" if report.passed else "FAIL"
+        lines.append(f"{name}: {status} ({len(report.results)} checks, "
+                     f"{len(report.skipped)} skipped)")
+        if not report.passed:
+            failed = True
+            lines.extend(f"  {r}" for r in report.failures)
+
+    if args.replay:
+        spec = load_artifact(Path(args.replay))
+        _report_lines(f"replay {args.replay} (seed {spec.seed})",
+                      run_spec(spec))
+    elif args.corpus:
+        paths = sorted(Path(args.corpus).glob("*.json"))
+        if not paths:
+            raise SystemExit(f"no *.json artifacts under {args.corpus}")
+        for path in paths:
+            _report_lines(f"corpus {path.name}", run_spec(load_artifact(path)))
+    else:
+        artifact_dir = Path(args.artifact_dir)
+        for seed in _seeds(args.seed):
+            log.info("validate: seed %d", seed)
+            outcome = fuzz_seed(seed, artifact_dir=artifact_dir,
+                                do_shrink=not args.no_shrink)
+            _report_lines(f"seed {seed}", outcome.report)
+            if not outcome.passed:
+                spec = outcome.minimal_spec
+                lines.append(
+                    f"  shrunk to {len(spec.flows)} flow(s), "
+                    f"{spec.duration_s:.1f}s ({outcome.shrink_runs} runs); "
+                    f"artifact: {outcome.artifact_path}")
+    if failed:
+        args._validate_failed = True
+    return "\n".join(lines)
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "fig9": _fig9,
     "fig10": _fig10,
@@ -185,6 +257,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ablations": _ablations,
     "stats": _stats,
     "watch": _watch,
+    "validate": _validate,
 }
 
 
@@ -204,8 +277,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="workload duration in simulated seconds")
     parser.add_argument("--join", type=float, default=15.0,
                         help="join time of the third flow (fig9/10/11)")
-    parser.add_argument("--seed", type=int, default=7,
-                        help="impairment RNG seed for stats/watch runs")
+    parser.add_argument("--seed", type=_seed_spec, default=7,
+                        help="impairment RNG seed for stats/watch runs; "
+                             "'validate' also accepts an inclusive range "
+                             "like 0..9")
     parser.add_argument("--quick", action="store_true",
                         help="short runs (duration 20, join 8)")
     parser.add_argument("-v", "--verbose", action="store_true",
@@ -237,6 +312,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve /metrics (Prometheus exposition) and "
                             "/series on this port during the run; 0 picks "
                             "a free port")
+    validate = parser.add_argument_group("differential validation")
+    validate.add_argument("--replay", metavar="ARTIFACT", default=None,
+                          help="re-run one fuzz-failure artifact instead of "
+                               "seeded scenarios")
+    validate.add_argument("--corpus", metavar="DIR", default=None,
+                          help="run every *.json artifact under DIR")
+    validate.add_argument("--artifact-dir", metavar="DIR",
+                          default="validation-artifacts",
+                          help="where failing seeds' shrunk artifacts are "
+                               "written (default: validation-artifacts)")
+    validate.add_argument("--no-shrink", action="store_true",
+                          help="skip shrinking failing scenarios")
     return parser
 
 
@@ -274,9 +361,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         telemetry.enable()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.experiment == "all":
-        # 'all' means the paper artifacts, not the self-telemetry modes.
+        # 'all' means the paper artifacts, not the self-telemetry or
+        # validation modes.
         names.remove("stats")
         names.remove("watch")
+        names.remove("validate")
     for name in names:
         log.info("running %s (duration=%.0fs)", name, args.duration)
         print(f"\n{'=' * 70}\n  {name}\n{'=' * 70}")
@@ -284,6 +373,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.telemetry and args.experiment not in ("stats", "watch"):
         print(f"\n{'=' * 70}\n  telemetry\n{'=' * 70}")
         print(_render_snapshot(args))
+    if getattr(args, "_validate_failed", False):
+        return 1
     return 1 if getattr(args, "_telemetry_write_failed", False) else 0
 
 

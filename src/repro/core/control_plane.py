@@ -60,6 +60,10 @@ class TrackedFlow:
     last_throughput_bps: float = 0.0
     idle_intervals: int = 0
     terminated: bool = False
+    # True only for idle-eviction (the control plane released the register
+    # slot, clearing its counters); FIN/RST termination keeps the slot, so
+    # register totals stay comparable against ground truth.
+    evicted: bool = False
     verdict: LimiterVerdict = LimiterVerdict.UNKNOWN
     last_rtt_ms: Optional[float] = None
     jitter_ms: float = 0.0  # RFC 3550 smoothed inter-sample variation
@@ -432,6 +436,7 @@ class MonitorControlPlane:
 
     def _evict(self, flow: TrackedFlow) -> None:
         flow.terminated = True
+        flow.evicted = True
         self.monitor.flow_table.release_slot(flow.slot)
         self.alerts.drop_flow(flow.flow_id)
         self.limiter.forget(flow.flow_id)
@@ -467,6 +472,21 @@ class MonitorControlPlane:
             for s in self.flow_samples[kind]
             if flow_id is None or s.flow_id == flow_id
         ]
+
+    def metric_values(self, kind: MetricKind, flow_id: int) -> List[float]:
+        """All reported values of one metric for one flow, in time order
+        (what the differential checker compares against oracle truth)."""
+        return [s.value for s in self.flow_samples[kind] if s.flow_id == flow_id]
+
+    def flow_by_tuple(self, src_ip: int, dst_ip: int, src_port: int,
+                      dst_port: int) -> Optional[TrackedFlow]:
+        """The tracked flow matching a 5-tuple's addressing (protocol is
+        implicit: the data plane only announces what it parsed)."""
+        for flow in self.flows.values():
+            if (flow.src_ip == src_ip and flow.dst_ip == dst_ip
+                    and flow.src_port == src_port and flow.dst_port == dst_port):
+                return flow
+        return None
 
     def flows_by_dst(self) -> Dict[int, List[TrackedFlow]]:
         """Group flows by destination IP — how Grafana groups the paper's

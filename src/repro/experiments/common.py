@@ -68,7 +68,8 @@ class Scenario:
     """A ready-to-run instance of the paper's testbed."""
 
     def __init__(self, config: Optional[ScenarioConfig] = None,
-                 with_perfsonar: bool = True) -> None:
+                 with_perfsonar: bool = True,
+                 copy_recorder=None) -> None:
         self.config = config or ScenarioConfig()
         self.sim = Simulator()
         topo_cfg = self.config.topology_config()
@@ -80,7 +81,16 @@ class Scenario:
             **self.config.monitor_overrides,
         )
         self.monitor = P4Monitor(monitor_cfg, sim=self.sim)
-        self.topology.attach_tap(self.monitor.receive_copy)
+        # copy_recorder (a MirrorCopy callable) tees the TAP stream before
+        # the monitor sees it — used by validation replay round-trips.
+        if copy_recorder is None:
+            tap_sink = self.monitor.receive_copy
+        else:
+            def tap_sink(copy, _rec=copy_recorder,
+                         _mon=self.monitor.receive_copy):
+                _rec(copy)
+                _mon(copy)
+        self.topology.attach_tap(tap_sink)
 
         self.perfsonar: Optional[PerfSonarNode] = None
         sink = None

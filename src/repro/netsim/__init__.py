@@ -13,7 +13,13 @@ from repro.netsim.link import Link, Port
 from repro.netsim.host import Host, Node
 from repro.netsim.switch import LegacySwitch
 from repro.netsim.tap import OpticalTap, MirrorCopy, TapDirection
-from repro.netsim.netem import LossImpairment, DelayImpairment
+from repro.netsim.netem import LossImpairment, DelayImpairment, FlapImpairment
+from repro.netsim.observer import (
+    EventStream,
+    NetEvent,
+    NetEventKind,
+    observe_topology,
+)
 from repro.netsim.trace import PacketTrace, TraceRecord
 from repro.netsim.pcap import PcapCapture, read_pcap, write_pcap
 from repro.netsim.topology import (
@@ -42,6 +48,11 @@ __all__ = [
     "TapDirection",
     "LossImpairment",
     "DelayImpairment",
+    "FlapImpairment",
+    "EventStream",
+    "NetEvent",
+    "NetEventKind",
+    "observe_topology",
     "PacketTrace",
     "TraceRecord",
     "PcapCapture",

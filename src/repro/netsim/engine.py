@@ -48,6 +48,14 @@ class PeriodicEvent:
 
     The callback fires every ``interval_ns`` until ``cancel()``; cancelling
     from inside the callback stops the timer cleanly (no further firings).
+
+    The next firing is armed *before* the callback runs.  That ordering is
+    what makes the timer survive re-entrancy: a callback that advances the
+    clock (a nested ``run_until``) still sees every intermediate firing at
+    ``t0 + k*interval`` instead of silently skipping them and drifting,
+    and a ``cancel()`` issued anywhere inside the callback (directly or
+    from an event executed by a nested run) kills the already-scheduled
+    next occurrence.
     """
 
     __slots__ = ("sim", "interval_ns", "fn", "args", "cancelled", "_event")
@@ -64,9 +72,8 @@ class PeriodicEvent:
     def _fire(self) -> None:
         if self.cancelled:
             return
+        self._event = self.sim.after(self.interval_ns, self._fire)
         self.fn(*self.args)
-        if not self.cancelled:
-            self._event = self.sim.after(self.interval_ns, self._fire)
 
     def cancel(self) -> None:
         self.cancelled = True

@@ -149,7 +149,8 @@ class Link:
     direction) never interact — full duplex, like the paper's fibre.
     """
 
-    __slots__ = ("sim", "a", "b", "delay_ns", "impairments", "delivered", "name")
+    __slots__ = ("sim", "a", "b", "delay_ns", "impairments", "delivered",
+                 "impairment_drops", "drop_hooks", "name")
 
     def __init__(
         self,
@@ -169,6 +170,11 @@ class Link:
         self.delay_ns = delay_ns
         self.impairments: list = []
         self.delivered = 0
+        self.impairment_drops = 0
+        # Observers of in-flight losses (netem drops, flaps): called with
+        # (packet, sending_port).  Queue tail drops are reported by the
+        # Port's own drop_hooks; together the two cover every loss point.
+        self.drop_hooks: List[Callable[[Packet, Port], None]] = []
         self.name = name or f"{a.name}<->{b.name}"
         a.link = self
         b.link = self
@@ -185,8 +191,11 @@ class Link:
         extra_delay = 0
         for imp in self.impairments:
             verdict = imp.process(pkt)
-            if verdict is None:
-                return  # dropped by the impairment
+            if verdict is None:  # dropped by the impairment
+                self.impairment_drops += 1
+                for hook in self.drop_hooks:
+                    hook(pkt, from_port)
+                return
             extra_delay += verdict
         peer = self.other(from_port)
         self.sim.after(self.delay_ns + extra_delay, self._arrive, pkt, peer)

@@ -70,6 +70,36 @@ class DelayImpairment:
         return self.delay_ns + self._rng.randrange(self.jitter_ns + 1)
 
 
+class FlapImpairment:
+    """A mid-run link flap: every packet crossing the link inside
+    ``[start_ns, start_ns + duration_ns)`` is lost, both directions — a
+    fibre cut / LOS event.  ``clock`` is anything with a ``now`` attribute
+    (normally the :class:`~repro.netsim.engine.Simulator`); impairments
+    run at delivery time, so ``clock.now`` is the instant the last bit
+    left the transmitting port.
+    """
+
+    __slots__ = ("clock", "start_ns", "end_ns", "dropped")
+
+    def __init__(self, clock, start_ns: int, duration_ns: int) -> None:
+        if start_ns < 0 or duration_ns <= 0:
+            raise ValueError("flap start must be >= 0 and duration positive")
+        self.clock = clock
+        self.start_ns = start_ns
+        self.end_ns = start_ns + duration_ns
+        self.dropped = 0
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    def process(self, pkt: Packet) -> Optional[int]:
+        if self.start_ns <= self.clock.now < self.end_ns:
+            self.dropped += 1
+            return None
+        return 0
+
+
 class ReorderImpairment:
     """Occasionally delays a packet long enough to arrive behind its
     successors — exercises the monitor's robustness to reordering.

@@ -1,0 +1,158 @@
+"""Event-stream observer: a typed, zero-perturbation view of the netsim
+data path.
+
+The validation subsystem (``repro.validation``) needs ground truth that is
+entirely independent of the P4 pipeline: exact per-flow byte counts at the
+TAP point, true per-packet queue residency, and every loss with its cause.
+Rather than having each consumer poke ad-hoc callbacks into switches,
+ports and links, :func:`observe_topology` wires one :class:`EventStream`
+into every observation point of a built topology and publishes typed
+:class:`NetEvent` records:
+
+- ``SWITCH_INGRESS`` — a packet arriving at the core switch (the exact
+  instant the paper's ingress TAP copies it, before queueing);
+- ``PORT_EGRESS``   — the last bit of a packet leaving an egress queue
+  (the egress-TAP instant);
+- ``QUEUE_DROP``    — a tail drop at any port's FIFO;
+- ``IMPAIRMENT_DROP`` — a loss inside a link (netem loss, reorder-to-
+  oblivion, a flap);
+- ``HOST_RX``       — delivery at an end host.
+
+Subscribers never touch the primary path: events are published inline at
+the point the simulator already pays for the hook, and with no subscribers
+attached the hooks are simply never installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Iterable, List, Optional
+
+from repro.netsim.host import Host
+from repro.netsim.link import Link, Port
+from repro.netsim.packet import Packet
+from repro.netsim.switch import LegacySwitch
+
+
+class NetEventKind(Enum):
+    SWITCH_INGRESS = "switch_ingress"
+    PORT_EGRESS = "port_egress"
+    QUEUE_DROP = "queue_drop"
+    IMPAIRMENT_DROP = "impairment_drop"
+    HOST_RX = "host_rx"
+
+
+@dataclass(frozen=True, slots=True)
+class NetEvent:
+    """One observed data-path occurrence."""
+
+    kind: NetEventKind
+    time_ns: int
+    pkt: Packet
+    where: str          # node / port / link name the event happened at
+    port_id: int = 0    # enumeration of tapped egress ports (PORT_EGRESS)
+
+
+Subscriber = Callable[[NetEvent], None]
+
+
+class EventStream:
+    """Fan-out bus for :class:`NetEvent` records."""
+
+    __slots__ = ("_subscribers", "events_published")
+
+    def __init__(self) -> None:
+        self._subscribers: List[Subscriber] = []
+        self.events_published = 0
+
+    def subscribe(self, fn: Subscriber) -> Subscriber:
+        self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Subscriber) -> None:
+        self._subscribers.remove(fn)
+
+    def publish(self, event: NetEvent) -> None:
+        self.events_published += 1
+        for fn in self._subscribers:
+            fn(event)
+
+
+def observe_switch_ingress(stream: EventStream, switch: LegacySwitch) -> None:
+    """Publish ``SWITCH_INGRESS`` for every packet arriving at ``switch``."""
+
+    def hook(pkt: Packet, ts_ns: int, _sw=switch) -> None:
+        stream.publish(NetEvent(NetEventKind.SWITCH_INGRESS, ts_ns, pkt, _sw.name))
+
+    switch.ingress_mirrors.append(hook)
+
+
+def observe_port_egress(stream: EventStream, port: Port, port_id: int = 0) -> None:
+    """Publish ``PORT_EGRESS`` at the end of each serialisation on ``port``."""
+
+    def hook(pkt: Packet, ts_ns: int, _p=port, _pid=port_id) -> None:
+        stream.publish(NetEvent(NetEventKind.PORT_EGRESS, ts_ns, pkt, _p.name,
+                                port_id=_pid))
+
+    port.egress_mirrors.append(hook)
+
+
+def observe_drops(stream: EventStream, port: Port) -> None:
+    """Publish ``QUEUE_DROP`` for tail drops on ``port``."""
+
+    def hook(pkt: Packet, _p=port) -> None:
+        stream.publish(NetEvent(NetEventKind.QUEUE_DROP, _p.sim.now, pkt, _p.name))
+
+    port.drop_hooks.append(hook)
+
+
+def observe_link_drops(stream: EventStream, link: Link) -> None:
+    """Publish ``IMPAIRMENT_DROP`` for in-flight losses on ``link``."""
+
+    def hook(pkt: Packet, _from: Port, _l=link) -> None:
+        stream.publish(NetEvent(NetEventKind.IMPAIRMENT_DROP, _l.sim.now, pkt,
+                                _l.name))
+
+    link.drop_hooks.append(hook)
+
+
+def observe_host_rx(stream: EventStream, host: Host) -> None:
+    """Publish ``HOST_RX`` for deliveries at ``host``."""
+
+    def hook(pkt: Packet, ts_ns: int, _h=host) -> None:
+        stream.publish(NetEvent(NetEventKind.HOST_RX, ts_ns, pkt, _h.name))
+
+    host.rx_hooks.append(hook)
+
+
+def observe_topology(
+    topology,
+    stream: Optional[EventStream] = None,
+    tapped_egress_ports: Optional[Iterable[Port]] = None,
+    with_host_rx: bool = False,
+) -> EventStream:
+    """Instrument a :class:`~repro.netsim.topology.ScienceDMZTopology`.
+
+    Installs the full observation set the ground-truth oracle needs:
+    ingress events at the core (tapped) switch, egress events on the
+    tapped queue(s) (default: the bottleneck port, matching
+    :meth:`ScienceDMZTopology.attach_tap`), tail drops on every switch and
+    host port, and impairment drops on every link.  Returns the stream.
+    """
+    s = stream or EventStream()
+    observe_switch_ingress(s, topology.core_switch)
+    egress = (list(tapped_egress_ports) if tapped_egress_ports is not None
+              else [topology.bottleneck_port])
+    for port_id, port in enumerate(egress):
+        observe_port_egress(s, port, port_id)
+    nodes = [topology.core_switch, topology.wan_switch, *topology.all_hosts]
+    for node in nodes:
+        for port in node.ports:
+            observe_drops(s, port)
+    for link in topology.links:
+        observe_link_drops(s, link)
+    if with_host_rx:
+        for host in topology.all_hosts:
+            observe_host_rx(s, host)
+    return s

@@ -11,6 +11,7 @@ the data-plane internals.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Optional
 
 import numpy as np
@@ -64,6 +65,35 @@ class P4Program:
         self.sketches[name] = cms
         return cms
 
+    # -- whole-program state (validation / replay round-trips) ---------------
+
+    def state_snapshot(self) -> Dict[str, np.ndarray]:
+        """Copy of every stateful object the data plane owns: one array per
+        register, one ``(depth, width)`` matrix per sketch and a packet/byte
+        pair per counter.  This is what a full control-plane register sync
+        would return, and what the differential checker and the replay
+        round-trip tests compare."""
+        state: Dict[str, np.ndarray] = {}
+        for name, reg in self.registers.items():
+            state[f"register/{name}"] = reg.snapshot()
+        for name, cms in self.sketches.items():
+            state[f"sketch/{name}"] = cms.snapshot()
+        for name, ctr in self.counters.items():
+            pkts, nbytes = ctr.snapshot()
+            state[f"counter/{name}/packets"] = pkts
+            state[f"counter/{name}/bytes"] = nbytes
+        return state
+
+    def state_digest(self) -> str:
+        """SHA-256 over the canonical byte serialisation of
+        :meth:`state_snapshot` — equal digests mean bit-identical data-plane
+        state (two replays of the same capture must agree)."""
+        h = hashlib.sha256()
+        for name, arr in sorted(self.state_snapshot().items()):
+            h.update(name.encode())
+            h.update(np.ascontiguousarray(arr, dtype=np.uint64).tobytes())
+        return h.hexdigest()
+
 
 class P4RuntimeClient:
     """Control-plane handle: named reads/writes plus digest subscription."""
@@ -90,6 +120,14 @@ class P4RuntimeClient:
 
     def clear_register(self, name: str, index: Optional[int] = None) -> None:
         self._reg(name).clear(index)
+
+    def snapshot_all(self) -> Dict[str, np.ndarray]:
+        """Full data-plane state sync (see :meth:`P4Program.state_snapshot`)."""
+        self.register_reads += 1
+        return self.program.state_snapshot()
+
+    def state_digest(self) -> str:
+        return self.program.state_digest()
 
     def _reg(self, name: str) -> RegisterArray:
         try:

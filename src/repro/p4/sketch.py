@@ -78,6 +78,10 @@ class CountMinSketch:
 
     # -- control-plane operations ---------------------------------------------
 
+    def snapshot(self) -> np.ndarray:
+        """Copy of the full (depth, width) counter matrix."""
+        return self._rows.copy()
+
     def clear(self) -> None:
         self._rows[:] = 0
 

@@ -1,0 +1,46 @@
+"""Differential validation of the P4 measurement plane.
+
+The paper's claim is that data-plane *estimates* — eACK-matched RTT,
+sequence-regression loss, TAP-pair queue delay, count-min long-flow
+detection — track ground truth closely enough to feed perfSONAR.  This
+package makes that claim continuously testable:
+
+- :mod:`repro.validation.oracle` — exact ground truth from the netsim
+  event stream, with zero reliance on the P4 pipeline;
+- :mod:`repro.validation.tolerances` — the declared tolerance per metric;
+- :mod:`repro.validation.checker` — runs a scenario through both paths
+  and compares register/report values against oracle truth;
+- :mod:`repro.validation.scenarios` — seeded, JSON-serialisable scenario
+  specs (topology + workload + impairments) and their assembly;
+- :mod:`repro.validation.capture` — TAP mirror-stream recording and the
+  replay-artifact serialisation;
+- :mod:`repro.validation.fuzz` — the seeded scenario fuzzer with
+  automatic shrinking to a minimal failing artifact.
+
+See docs/validation.md for oracle semantics and the tolerance table.
+"""
+
+from repro.validation.capture import CopyRecorder
+from repro.validation.checker import CheckResult, DifferentialChecker, ValidationReport
+from repro.validation.oracle import FlowTruth, GroundTruthOracle
+from repro.validation.scenarios import ScenarioSpec, ValidationRun
+from repro.validation.tolerances import TOLERANCES, Tolerance
+from repro.validation.fuzz import FuzzOutcome, fuzz_seed, run_seed, run_spec, shrink
+
+__all__ = [
+    "CheckResult",
+    "CopyRecorder",
+    "DifferentialChecker",
+    "ValidationReport",
+    "FlowTruth",
+    "GroundTruthOracle",
+    "ScenarioSpec",
+    "ValidationRun",
+    "TOLERANCES",
+    "Tolerance",
+    "FuzzOutcome",
+    "fuzz_seed",
+    "run_seed",
+    "run_spec",
+    "shrink",
+]

@@ -217,3 +217,64 @@ def test_every_passes_args(sim):
     sim.every(10, got.append, "x")
     sim.run_until(20)
     assert got == ["x", "x"]
+
+
+# -- periodic timers: re-entrancy regressions ---------------------------------
+#
+# PeriodicEvent used to arm its next occurrence only *after* the callback
+# returned.  A callback that re-enters the event loop (nested run_until —
+# what a control-plane tick does when it flushes reports through a
+# simulated sink) would then run past the next scheduled firing before it
+# existed, silently skipping ticks and drifting off the period grid.
+
+
+def test_every_survives_nested_run_until(sim):
+    times = []
+
+    def tick():
+        times.append(sim.now)
+        # Re-enter the loop from inside the callback; the next periodic
+        # firing must already be armed so the cadence is preserved.
+        sim.after(5, lambda: None)
+        sim.run_until(sim.now + 5)
+
+    sim.every(10, tick)
+    sim.run_until(50)
+    assert times == [10, 20, 30, 40, 50]
+
+
+def test_every_cancel_during_fire_from_nested_run(sim):
+    times = []
+
+    def tick():
+        times.append(sim.now)
+        if len(times) == 2:
+            # Cancel from *inside* a nested event scheduled by the
+            # callback — the armed next occurrence must die with it.
+            sim.after(1, timer.cancel)
+            sim.run_until(sim.now + 1)
+
+    timer = sim.every(10, tick)
+    sim.run_until(100)
+    assert times == [10, 20]
+
+
+def test_every_cancel_before_first_fire_same_timestamp(sim):
+    # An event scheduled earlier at the same timestamp runs first (FIFO);
+    # its cancel must suppress the would-be first firing entirely.
+    times = []
+    timer = None
+    sim.at(10, lambda: timer.cancel())
+    timer = sim.every(10, lambda: times.append(sim.now))
+    sim.run_until(100)
+    assert times == []
+
+
+def test_every_cancel_after_fire_same_timestamp(sim):
+    # Reversed FIFO order: the periodic timer was scheduled first, so at
+    # t=10 it fires before the canceller runs; exactly one tick survives.
+    times = []
+    timer = sim.every(10, lambda: times.append(sim.now))
+    sim.at(10, timer.cancel)
+    sim.run_until(100)
+    assert times == [10]

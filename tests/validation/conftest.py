@@ -1,0 +1,50 @@
+"""Validation-suite fixtures: seed selection and seed echoing.
+
+Every randomized test in this tree derives from an explicit integer
+seed, the seed appears in the test ID (so a flake's seed is in the
+failure line), and the active seed sets are echoed in the pytest header.
+``REPRO_FUZZ_SEEDS`` (comma-separated integers) overrides the fresh-seed
+set — CI uses it to fuzz new seeds every run while the corpus stays
+fixed.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+#: Deterministic default seeds exercised on every test run.
+DEFAULT_SEEDS = [0, 1, 2, 3]
+
+
+def fresh_seeds() -> list:
+    env = os.environ.get("REPRO_FUZZ_SEEDS", "").strip()
+    if not env:
+        return list(DEFAULT_SEEDS)
+    return [int(tok) for tok in env.split(",") if tok.strip()]
+
+
+def pytest_report_header(config) -> list:
+    corpus = sorted(p.name for p in CORPUS_DIR.glob("*.json"))
+    return [
+        f"validation: fuzz seeds {fresh_seeds()} "
+        f"(REPRO_FUZZ_SEEDS={os.environ.get('REPRO_FUZZ_SEEDS', '<unset>')})",
+        f"validation: corpus {corpus}",
+    ]
+
+
+@pytest.fixture(scope="session")
+def seed0_outcome():
+    """One shared clean run of seed 0 (the expensive fixture most
+    differential tests inspect)."""
+    from repro.validation.scenarios import ScenarioSpec
+
+    spec = ScenarioSpec.from_seed(0)
+    run = spec.build()
+    run.run()
+    report = run.check()
+    return spec, run, report

@@ -1,0 +1,133 @@
+"""Differential checker: clean runs pass, corrupted data planes fail.
+
+The mutation tests are the teeth of the whole subsystem: each one
+corrupts the P4 side in a specific way (the oracle never sees the
+corruption) and asserts the corresponding check catches it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validation.checker import DifferentialChecker
+from repro.validation.fuzz import run_seed
+from repro.validation.scenarios import ScenarioSpec
+from repro.validation.tolerances import LOSS_PKTS_REORDER
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def run_mutated(seed: int, mutate):
+    return run_seed(seed, run_hook=mutate)
+
+
+# -- clean behaviour -----------------------------------------------------------
+
+
+def test_clean_seed0_passes(seed0_outcome):
+    spec, run, report = seed0_outcome
+    assert report.passed, report.summary()
+    assert len(report.results) > 10
+
+
+def test_clean_run_checks_every_metric_class(seed0_outcome):
+    _, _, report = seed0_outcome
+    metrics = {r.metric for r in report.results}
+    for expected in ("flow_bytes", "flow_pkts", "loss_regressions",
+                     "loss_proxy", "rtt_envelope", "rtt_locality",
+                     "rtt_sample_count", "queue_delay_peak_ms",
+                     "long_flow_claim"):
+        assert expected in metrics, f"missing {expected}: {sorted(metrics)}"
+
+
+def test_counters_exact_against_oracle(seed0_outcome):
+    _, run, report = seed0_outcome
+    counter_checks = [r for r in report.results
+                      if r.metric in ("flow_bytes", "flow_pkts")]
+    assert counter_checks
+    for check in counter_checks:
+        assert check.p4_value == check.truth_value
+
+
+def test_report_serialises(seed0_outcome):
+    _, _, report = seed0_outcome
+    doc = report.to_jsonable()
+    assert doc["passed"] is True
+    assert len(doc["checks"]) == len(report.results)
+    assert all(set(c) >= {"metric", "subject", "passed"} for c in doc["checks"])
+
+
+# -- mutation smoke tests ------------------------------------------------------
+#
+# The ISSUE's acceptance criterion: an intentionally injected off-by-one
+# in the loss tracker must be caught by the differential checker.
+
+
+def test_mutation_loss_off_by_one_is_caught():
+    def mutate(run):
+        stage = run.scenario.monitor.rtt_loss
+        orig = stage.pkt_loss.add
+        stage.pkt_loss.add = lambda idx, v: orig(idx, v + 1)
+
+    report = run_mutated(0, mutate)
+    assert not report.passed
+    assert any(r.metric == "loss_regressions" for r in report.failures)
+
+
+def test_mutation_byte_counter_skew_is_caught():
+    def mutate(run):
+        stage = run.scenario.monitor.flow_table
+        orig = stage.flow_bytes.add
+        stage.flow_bytes.add = lambda slot, v: orig(slot, v + 1)
+
+    report = run_mutated(0, mutate)
+    assert not report.passed
+    assert any(r.metric == "flow_bytes" for r in report.failures)
+
+
+def test_mutation_rtt_scaling_is_caught():
+    def mutate(run):
+        stage = run.scenario.monitor.rtt_loss
+        orig = stage.rtt.write
+        stage.rtt.write = lambda idx, v: orig(idx, int(v * 2))
+
+    report = run_mutated(0, mutate)
+    assert not report.passed
+    assert any(r.metric in ("rtt_envelope", "rtt_locality")
+               for r in report.failures)
+
+
+def test_mutation_dead_loss_counter_is_caught():
+    """A counter that never increments must trip the coverage floor on a
+    lossy scenario (seed 2 has two loss impairments)."""
+    def mutate(run):
+        stage = run.scenario.monitor.rtt_loss
+        stage.pkt_loss.add = lambda idx, v: None
+
+    report = run_mutated(2, mutate)
+    assert not report.passed
+    assert any(r.metric in ("loss_regressions", "loss_proxy")
+               for r in report.failures)
+
+
+def test_mutation_queue_delay_inflation_is_caught():
+    def mutate(run):
+        stage = run.scenario.monitor.queue
+        orig = stage.flow_qdelay_max.maximum
+        stage.flow_qdelay_max.maximum = lambda idx, v: orig(idx, int(v * 4))
+
+    report = run_mutated(0, mutate)
+    assert not report.passed
+    assert any(r.metric == "queue_delay_peak_ms" for r in report.failures)
+
+
+# -- tolerance plumbing --------------------------------------------------------
+
+
+def test_reordering_scenarios_get_widened_loss_envelope():
+    spec = ScenarioSpec.from_seed(1)  # has a reorder impairment
+    assert spec.has_reordering
+    run = spec.build()
+    checker = DifferentialChecker(run.scenario.control_plane, run.oracle,
+                                  reordering=spec.has_reordering)
+    assert checker.loss_tol is LOSS_PKTS_REORDER

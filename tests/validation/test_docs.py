@@ -1,0 +1,40 @@
+"""docs/validation.md must track the declared tolerance table."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.validation.tolerances import TOLERANCES
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "validation.md"
+
+
+def test_docs_exist_and_cover_every_tolerance_row():
+    text = DOC.read_text()
+    # every declared tolerance constant must be discussed in the doc
+    checks = {
+        "counters": ("flow_bytes", "flow_pkts"),
+        "loss_regressions": ("loss_regressions",),
+        "loss_packets": ("loss_proxy",),
+        "loss_packets_reorder": ("reordering",),
+        "rtt_ms": ("rtt_envelope", "rtt_locality"),
+        "rtt_sample_count": ("rtt_sample_count",),
+        "queue_delay_ms": ("queue_delay_peak_ms",),
+        "microburst_peak_ms": ("microburst_peak_ms",),
+        "sketch_bytes": ("sketch_bytes",),
+        "long_flow_claim": ("long_flow_claim",),
+    }
+    assert set(checks) == set(TOLERANCES), "tolerance table changed: update map"
+    for metric, mentions in checks.items():
+        for needle in mentions:
+            assert needle in text, f"docs/validation.md misses {needle} ({metric})"
+
+
+def test_docs_numbers_match_declared_tolerances():
+    text = DOC.read_text()
+    rtt = TOLERANCES["rtt_ms"]
+    assert f"±{rtt.rel_tol * 100:.0f}% + {rtt.abs_slack:.0f} ms" in text
+    loss = TOLERANCES["loss_packets"]
+    assert f"{loss.rel_tol:.0f}·truth + {loss.abs_slack:.0f}" in text
+    reorder = TOLERANCES["loss_packets_reorder"]
+    assert f"{reorder.rel_tol:.0f}·truth + {reorder.abs_slack:.0f}" in text

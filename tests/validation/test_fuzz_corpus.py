@@ -1,0 +1,51 @@
+"""Corpus replay + fresh-seed fuzzing.
+
+The corpus pins scenarios that exercised distinct code paths when they
+were recorded (bursts, reordering, flaps, double loss); the fresh-seed
+set is overridable per run via ``REPRO_FUZZ_SEEDS`` so CI fuzzes new
+ground on every build while the corpus guards against regressions.
+Seeds and corpus names are in the test IDs: a failure line is enough to
+reproduce it with ``repro-experiments validate --seed N``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validation.fuzz import load_artifact, run_spec
+from repro.validation.scenarios import ScenarioSpec
+
+from .conftest import CORPUS_DIR, fresh_seeds
+
+CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def _fail_text(report) -> str:
+    return "; ".join(str(r) for r in report.failures)
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_scenario_passes(path):
+    spec = load_artifact(path)
+    report = run_spec(spec)
+    assert report.passed, f"{path.name}: {_fail_text(report)}"
+
+
+@pytest.mark.parametrize("seed", fresh_seeds(), ids=lambda s: f"seed{s}")
+def test_fresh_seed_passes(seed):
+    spec = ScenarioSpec.from_seed(seed)
+    report = run_spec(spec)
+    assert report.passed, (
+        f"seed {seed}: {_fail_text(report)} "
+        f"(reproduce: repro-experiments validate --seed {seed})"
+    )
+
+
+def test_corpus_is_nonempty_and_loadable():
+    assert len(CORPUS) >= 5
+    kinds = set()
+    for path in CORPUS:
+        spec = load_artifact(path)
+        kinds.add((bool(spec.losses), bool(spec.bursts),
+                   bool(spec.reorders or spec.jitters), bool(spec.flaps)))
+    assert len(kinds) >= 3, "corpus lacks diversity across impairment axes"

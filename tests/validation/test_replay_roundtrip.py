@@ -1,0 +1,89 @@
+"""Record -> serialize -> replay -> identical data-plane state.
+
+A live validation run records every mirror copy through a
+:class:`CopyRecorder` tee; replaying those copies through a fresh
+:class:`OfflineAnalyzer` (same :class:`MonitorConfig`, same virtual
+clock discipline) must end in *bit-identical* register/sketch/counter
+state — ``state_digest()`` equality — including after a JSON
+round-trip of the capture.  This is the determinism guarantee the
+fuzzer's shrink artifacts rely on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.replay import OfflineAnalyzer
+from repro.validation.capture import (
+    CopyRecorder,
+    copies_from_jsonable,
+    copy_from_jsonable,
+    copy_to_jsonable,
+)
+from repro.netsim.packet import Packet, TCPFlags
+from repro.netsim.tap import MirrorCopy, TapDirection
+from repro.validation.scenarios import ScenarioSpec
+
+
+@pytest.fixture(scope="module")
+def recorded_run():
+    """Seed-2 live run with a recorder tee on the TAP sink."""
+    spec = ScenarioSpec.from_seed(2)
+    recorder = CopyRecorder()
+    run = spec.build(copy_recorder=recorder)
+    run.run()
+    return spec, run, recorder
+
+
+def _offline_digest(spec, run, copies) -> str:
+    analyzer = OfflineAnalyzer(config=run.scenario.monitor.config.copy())
+    end_ns = int(spec.end_s * 1e9)
+    last_ts = max(ts for ts, _, _ in copies)
+    analyzer.replay(copies, trailer_ns=end_ns - last_ts)
+    return analyzer.monitor.program.state_digest()
+
+
+def test_offline_replay_reaches_identical_state(recorded_run):
+    spec, run, recorder = recorded_run
+    live_digest = run.scenario.monitor.program.state_digest()
+    assert recorder.timed_copies(), "tee recorded nothing"
+    assert _offline_digest(spec, run, recorder.timed_copies()) == live_digest
+
+
+def test_offline_replay_survives_json_round_trip(recorded_run):
+    spec, run, recorder = recorded_run
+    live_digest = run.scenario.monitor.program.state_digest()
+    text = json.dumps(recorder.to_jsonable())
+    copies = copies_from_jsonable(json.loads(text))
+    assert len(copies) == len(recorder.timed_copies())
+    assert _offline_digest(spec, run, copies) == live_digest
+
+
+def test_copy_json_round_trip_preserves_every_field():
+    pkt = Packet(src_ip=0x0A000001, dst_ip=0x0A000002, src_port=1234,
+                 dst_port=5201, seq=17, ack=99, window=4096,
+                 flags=TCPFlags.ACK | TCPFlags.PSH, payload_len=512,
+                 sack=[(100, 200), (300, 400)], ecn=1, ttl=63)
+    copy = MirrorCopy(pkt, TapDirection.EGRESS, 1_000_000)
+    back = copy_from_jsonable(json.loads(json.dumps(copy_to_jsonable(copy))))
+    assert back.timestamp_ns == 1_000_000
+    assert back.direction is TapDirection.EGRESS
+    for fld in ("src_ip", "dst_ip", "src_port", "dst_port", "seq", "ack",
+                "window", "flags", "payload_len", "ecn", "ttl",
+                "ip_total_len"):
+        assert getattr(back.pkt, fld) == getattr(pkt, fld), fld
+    assert tuple(back.pkt.sack) == ((100, 200), (300, 400))
+
+
+def test_recorder_does_not_perturb_the_run():
+    """The tee must be invisible: a recorded run and an unrecorded run of
+    the same spec end in the same data-plane state."""
+    spec = ScenarioSpec.from_seed(4)
+    plain = spec.build()
+    plain.run()
+    teed = ScenarioSpec.from_seed(4).build(copy_recorder=CopyRecorder())
+    teed.run()
+    assert (plain.scenario.monitor.program.state_digest()
+            == teed.scenario.monitor.program.state_digest())
