@@ -1,0 +1,210 @@
+"""Provenance-tracing overhead budgets.
+
+Three operating points, per docs/observability.md:
+
+- **disabled** (the default): the pipeline hot path pays only the
+  bind-time ``is None`` guards — within 2 % of an uninstrumented twin
+  (``BarePipeline`` replays the pre-instrumentation process() body,
+  sharing parser/stages, so the delta is exactly the guards);
+- **coarse-only** (``fine_window=0``, 1/64 sampling): the always-on
+  long-horizon mode — within 10 % of wall time on the substrate
+  end-to-end scenario (the netsim + pipeline + control-plane workload
+  every figure benchmark runs, where the hooks on every queue/TAP hop
+  and register write all fire);
+- **full tracing**: timed for the BENCH_trace_overhead record, no budget
+  (it is the diagnosis mode, not an always-on setting).
+"""
+
+import gc
+import time
+
+from repro import telemetry
+from repro.core.flow_table import PORT_INGRESS_TAP
+from repro.netsim.packet import FiveTuple, make_ack_packet, make_data_packet
+from repro.p4.pipeline import P4Pipeline, StandardMetadata
+from repro.telemetry import provenance
+
+from tests.core.helpers import small_monitor
+
+PACKETS = 400
+ROUNDS = 9
+E2E_ROUNDS = 4
+DISABLED_BUDGET = 1.02
+COARSE_BUDGET = 1.10
+
+
+class BarePipeline(P4Pipeline):
+    """The process() body exactly as it was before instrumentation."""
+
+    def process(self, packet, meta):
+        self.packets_in += 1
+        hdr = self.parser.parse(packet)
+        if hdr is None:
+            self.packets_dropped += 1
+            return None
+        for stage in self.ingress:
+            stage.process(hdr, meta)
+            if meta.drop:
+                self.packets_dropped += 1
+                return None
+        for stage in self.egress:
+            stage.process(hdr, meta)
+            if meta.drop:
+                self.packets_dropped += 1
+                return None
+        return hdr
+
+
+def _packet_stream(n):
+    ft = FiveTuple(0x0A00000A, 0x0A01000A, 40000, 5201)
+    stream = []
+    seq = 1
+    for i in range(n):
+        stream.append(make_data_packet(ft, seq=seq, payload_len=1000, ip_id=i))
+        stream.append(make_ack_packet(ft.reversed(), ack=seq + 1000))
+        seq += 1000
+    return stream
+
+
+def _drive(pipeline, stream):
+    t = 1000
+    for pkt in stream:
+        meta = StandardMetadata(ingress_port=PORT_INGRESS_TAP,
+                                ingress_timestamp_ns=t)
+        pipeline.process(pkt, meta)
+        t += 500_000
+
+
+def _interleaved_best_ratio(guarded, bare, stream):
+    """Best-of-ROUNDS wall time for each pipeline, rounds interleaved
+    (cancels thermal drift) with the GC held off the timings."""
+    _drive(guarded, stream)  # untimed warmup: register state converges
+    _drive(bare, stream)
+    guarded_best = bare_best = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(ROUNDS):
+            t0 = time.perf_counter_ns()
+            _drive(guarded, stream)
+            guarded_best = min(guarded_best, time.perf_counter_ns() - t0)
+            t0 = time.perf_counter_ns()
+            _drive(bare, stream)
+            bare_best = min(bare_best, time.perf_counter_ns() - t0)
+            gc.collect()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return guarded_best / bare_best
+
+
+def _bare_twin_of(pipeline):
+    bare = BarePipeline("bare")
+    bare.parser = pipeline.parser
+    bare.ingress = pipeline.ingress
+    bare.egress = pipeline.egress
+    return bare
+
+
+def _measure_disabled_ratio():
+    """Tracing off: guarded and bare share the same parser/stages, so
+    the delta is exactly the ``is None`` guards."""
+    assert not provenance.active() and not telemetry.enabled()
+    stream = _packet_stream(PACKETS)
+    guarded = small_monitor().pipeline
+    assert guarded._trace is None  # provenance off → fast path
+    return _interleaved_best_ratio(guarded, _bare_twin_of(guarded), stream)
+
+
+def _run_substrate_scenario():
+    """The substrate end-to-end workload (test_substrate_perf.py's
+    shape): a monitored two-flow TCP scenario over the Fig. 8 topology."""
+    from repro.experiments.common import Scenario, ScenarioConfig
+
+    scenario = Scenario(
+        ScenarioConfig(bottleneck_mbps=25.0, rtts_ms=(20.0, 30.0, 40.0),
+                       reference_rtt_ms=40.0),
+        with_perfsonar=False,
+    )
+    scenario.add_flow(0, duration_s=2.0)
+    scenario.add_flow(1, duration_s=2.0)
+    scenario.run(3.0)
+    return scenario
+
+
+def _measure_coarse_ratio():
+    """Coarse-only tracing vs fully-off, end to end: the scenario built
+    under ``enable(fine_window=0)`` binds the tracer in every netsim
+    port, TAP, pipeline stage and register; the dark scenario pays only
+    the ``is None`` guards."""
+    assert not provenance.active() and not telemetry.enabled()
+    _run_substrate_scenario()  # warmup (allocator, code paths)
+    dark_best = coarse_best = float("inf")
+    events_recorded = 0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(E2E_ROUNDS):
+            gc.collect()
+            t0 = time.perf_counter_ns()
+            _run_substrate_scenario()
+            dark_best = min(dark_best, time.perf_counter_ns() - t0)
+            tracer = provenance.enable(fine_window=0, sample_rate=1.0 / 64.0)
+            try:
+                gc.collect()
+                t0 = time.perf_counter_ns()
+                _run_substrate_scenario()
+                coarse_best = min(coarse_best, time.perf_counter_ns() - t0)
+            finally:
+                events_recorded = tracer.events_recorded
+                assert len(tracer.fine) == 0  # fine ring stayed off
+                provenance.disable()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    assert events_recorded > 0  # sampling actually recorded
+    return coarse_best / dark_best
+
+
+def _assert_within(measure, budget, label):
+    ratios = []
+    for _ in range(3):  # retry: pass as soon as one clean attempt fits
+        ratio = measure()
+        ratios.append(ratio)
+        if ratio <= budget:
+            break
+    assert min(ratios) <= budget, (
+        f"{label} hot path is {min(ratios):.3f}x baseline "
+        f"(budget {budget}x); attempts: "
+        + ", ".join(f"{r:.3f}" for r in ratios)
+    )
+
+
+def test_disabled_provenance_overhead_within_budget():
+    _assert_within(_measure_disabled_ratio, DISABLED_BUDGET,
+                   "disabled-provenance")
+
+
+def test_coarse_only_provenance_overhead_within_budget():
+    _assert_within(_measure_coarse_ratio, COARSE_BUDGET,
+                   "coarse-only provenance")
+
+
+def test_full_tracing_records_all_layers(benchmark):
+    """Full-capture sanity + the timed record for BENCH_trace_overhead:
+    every pipeline traversal lands in the fine window."""
+    tracer = provenance.enable()
+    try:
+        mon = small_monitor()
+        stream = _packet_stream(PACKETS)
+
+        def run():
+            _drive(mon.pipeline, stream)
+            return tracer.events_recorded
+
+        assert benchmark(run) > 0
+        layers = {ev.layer for ev in tracer.events()}
+        assert {"p4", "register"} <= layers
+        assert len(tracer.fine) > 0
+    finally:
+        provenance.disable()

@@ -174,6 +174,94 @@ def _watch(args) -> str:
             "measurement documents")
 
 
+def _parse_flow(text: str):
+    """argparse type for --flow: the FiveTuple str() format,
+    ``src_ip:port->dst_ip:port[/proto]`` (proto defaults to 6/TCP)."""
+    from repro.netsim.packet import FiveTuple, ip_to_int
+
+    try:
+        body, proto = text, 6
+        if "/" in text:
+            body, proto_text = text.rsplit("/", 1)
+            proto = int(proto_text)
+        src, dst = body.split("->", 1)
+        src_ip, src_port = src.rsplit(":", 1)
+        dst_ip, dst_port = dst.rsplit(":", 1)
+        return FiveTuple(ip_to_int(src_ip), ip_to_int(dst_ip),
+                         int(src_port), int(dst_port), proto)
+    except (ValueError, OSError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"flow must look like ip:port->ip:port[/proto], got {text!r}"
+        ) from exc
+
+
+def _trace(args) -> str:
+    """Provenance capture on a seeded microburst scenario: a fig11-style
+    shallow-buffer topology with a joining flow plus an injected
+    line-rate packet train, so the microburst trigger fires
+    deterministically.  Writes Perfetto JSON to --out and prints the
+    per-layer coverage plus an exemplar packet timeline."""
+    from repro.experiments.common import Scenario, ScenarioConfig
+    from repro.telemetry import provenance
+    from repro.telemetry.traceviz import render_timeline, write_perfetto
+
+    seed = args.seed if isinstance(args.seed, int) else 1
+    sample = (args.trace_sample if args.trace_sample is not None
+              else provenance.DEFAULT_SAMPLE_RATE)
+    tracer = provenance.enable(
+        fine_window=args.window,
+        sample_rate=sample,
+        flow=args.flow,
+        packet=args.packet,
+        triggers=(args.trigger,) if args.trigger else provenance.TRIGGERS,
+        seed=seed,
+    )
+    try:
+        duration = max(args.duration, 20.0)
+        join_s = duration * 0.4
+        scenario = Scenario(ScenarioConfig(
+            bottleneck_mbps=50.0,
+            rtts_ms=(40.0, 40.0, 40.0),
+            reference_rtt_ms=40.0,
+            buffer_bdp_fraction=0.25,
+        ))
+        scenario.add_flow(0, start_s=0.0, duration_s=duration)
+        scenario.add_flow(1, start_s=1.0, duration_s=duration)
+        scenario.add_flow(2, start_s=join_s, duration_s=duration - join_s)
+        buffer_bytes = scenario.config.topology_config().buffer_bytes()
+        scenario.inject_burst(join_s, nbytes=2 * buffer_bytes)
+        log.info("trace: %.0fs microburst scenario (join burst at %.1fs, "
+                 "seed %d)", duration, join_s, seed)
+        scenario.run(duration + 2.0)
+
+        doc = write_perfetto(args.out, tracer)
+        events = tracer.events()
+        tids = sorted({ev.trace_id for ev in events})
+        layers = sorted({ev.layer for ev in events})
+        lines = [
+            f"recorded {tracer.events_recorded} events "
+            f"({len(events)} retained across both windows), "
+            f"{len(tids)} distinct packets, layers: {', '.join(layers)}",
+            f"microbursts detected: {len(scenario.control_plane.microbursts)}",
+            f"trigger dumps: {len(tracer.dumps)}"
+            + (" — " + ", ".join(
+                f"{d.reason}@{d.t_ns / 1e9:.3f}s({len(d.events)} ev)"
+                for d in tracer.dumps[:6]) if tracer.dumps else ""),
+            f"perfetto JSON ({len(doc['traceEvents'])} entries) "
+            f"written to {args.out} — load at https://ui.perfetto.dev",
+        ]
+        # Exemplar journey: the packet whose events span the most layers.
+        if tids:
+            best = max(tids, key=lambda t: len(tracer.layers_for(t)))
+            lines.append("")
+            lines.append(f"exemplar packet (widest layer coverage, "
+                         f"{len(tracer.layers_for(best))} layers):")
+            lines.append(render_timeline(events, trace_id=best))
+        return "\n".join(lines)
+    finally:
+        provenance.disable()
+
+
 def _seeds(value) -> list:
     """``--seed`` accepts a single integer or an inclusive range 'A..B'."""
     if isinstance(value, int):
@@ -243,6 +331,16 @@ def _validate(args) -> str:
                     f"artifact: {outcome.artifact_path}")
     if failed:
         args._validate_failed = True
+
+    # With --trace-out active, a checker mismatch froze the fine window
+    # (the oracle-mismatch trigger in ValidationRun.check); surface it.
+    from repro.telemetry import provenance
+    tracer = provenance.tracer()
+    if tracer is not None and tracer.dumps:
+        lines.append(
+            f"provenance: {len(tracer.dumps)} fine-window dump(s) captured — "
+            + ", ".join(f"{d.reason}@{d.t_ns / 1e9:.3f}s ({len(d.events)} ev)"
+                        for d in tracer.dumps[:8]))
     return "\n".join(lines)
 
 
@@ -258,6 +356,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "stats": _stats,
     "watch": _watch,
     "validate": _validate,
+    "trace": _trace,
 }
 
 
@@ -312,6 +411,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve /metrics (Prometheus exposition) and "
                             "/series on this port during the run; 0 picks "
                             "a free port")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="enable provenance tracing for any experiment "
+                             "and write the Perfetto JSON to FILE after the "
+                             "run (see docs/observability.md)")
+    parser.add_argument("--trace-sample", type=float, default=None,
+                        metavar="RATE",
+                        help="coarse-window sampling rate in [0,1] "
+                             "(default: 1/64)")
+    trace = parser.add_argument_group("provenance capture (trace mode)")
+    trace.add_argument("--flow", type=_parse_flow, default=None,
+                       metavar="5TUPLE",
+                       help="fine-window filter: trace only this flow and "
+                            "its reverse (ip:port->ip:port[/proto])")
+    trace.add_argument("--packet", type=int, default=None, metavar="TRACE_ID",
+                       help="fine-window filter: trace a single packet by "
+                            "trace id")
+    trace.add_argument("--trigger", default=None,
+                       choices=("microburst", "alert", "loss-regression",
+                                "oracle-mismatch"),
+                       help="arm only this fine-window dump trigger "
+                            "(default: all four)")
+    trace.add_argument("--window", type=int, default=8192, metavar="EVENTS",
+                       help="fine-window ring size in events (default: 8192)")
+    trace.add_argument("--out", metavar="FILE", default="trace.json",
+                       help="Perfetto JSON output path for trace mode "
+                            "(default: trace.json)")
     validate = parser.add_argument_group("differential validation")
     validate.add_argument("--replay", metavar="ARTIFACT", default=None,
                           help="re-run one fuzz-failure artifact instead of "
@@ -361,15 +486,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         telemetry.enable()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.experiment == "all":
-        # 'all' means the paper artifacts, not the self-telemetry or
-        # validation modes.
+        # 'all' means the paper artifacts, not the self-telemetry,
+        # validation or provenance modes.
         names.remove("stats")
         names.remove("watch")
         names.remove("validate")
-    for name in names:
-        log.info("running %s (duration=%.0fs)", name, args.duration)
-        print(f"\n{'=' * 70}\n  {name}\n{'=' * 70}")
-        print(EXPERIMENTS[name](args))
+        names.remove("trace")
+    # --trace-out: provenance capture around any experiment ('trace'
+    # manages its own tracer and export through --out).
+    capture = args.trace_out is not None and args.experiment != "trace"
+    if capture:
+        from repro.telemetry import provenance
+        sample = (args.trace_sample if args.trace_sample is not None
+                  else provenance.DEFAULT_SAMPLE_RATE)
+        provenance.enable(fine_window=args.window, sample_rate=sample,
+                          flow=args.flow, packet=args.packet)
+    try:
+        for name in names:
+            log.info("running %s (duration=%.0fs)", name, args.duration)
+            print(f"\n{'=' * 70}\n  {name}\n{'=' * 70}")
+            print(EXPERIMENTS[name](args))
+        if capture:
+            from repro.telemetry import provenance
+            from repro.telemetry.traceviz import write_perfetto
+            tracer = provenance.tracer()
+            doc = write_perfetto(args.trace_out, tracer)
+            log.info("provenance trace (%d entries, %d dumps) written to %s",
+                     len(doc["traceEvents"]), len(tracer.dumps),
+                     args.trace_out)
+    finally:
+        if capture:
+            from repro.telemetry import provenance
+            provenance.disable()
     if args.telemetry and args.experiment not in ("stats", "watch"):
         print(f"\n{'=' * 70}\n  telemetry\n{'=' * 70}")
         print(_render_snapshot(args))

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import telemetry
+from repro.telemetry import provenance
 from repro.core.config import MetricKind, MonitorConfig
 from repro.core.reports import Alert
 
@@ -28,6 +29,7 @@ class AlertManager:
         self.sink = sink
         self._active: Dict[Tuple[MetricKind, Optional[int]], Alert] = {}
         self.history: List[Alert] = []
+        self._trace = provenance.tracer()
         self._tel_transitions = None
         if telemetry.enabled():
             self._tel_transitions = telemetry.counter(
@@ -78,6 +80,10 @@ class AlertManager:
 
     def _emit(self, alert: Alert) -> None:
         self.history.append(alert)
+        if self._trace is not None and not alert.cleared:
+            self._trace.fire("alert", alert.time_ns, metric=alert.metric,
+                             flow_id=alert.flow_id, value=alert.value,
+                             threshold=alert.threshold)
         if self._tel_transitions is not None:
             self._tel_transitions.labels(
                 alert.metric, "cleared" if alert.cleared else "raised").inc()

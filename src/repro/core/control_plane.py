@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro import telemetry
+from repro.telemetry import provenance
 from repro.netsim.engine import Event, Simulator
 from repro.netsim.units import NS_PER_S
 from repro.core.alerts import AlertManager
@@ -110,6 +111,11 @@ class MonitorControlPlane:
         self.runtime.subscribe_digest("flow_termination", self._on_termination)
         self.runtime.subscribe_digest("microburst", self._on_microburst)
 
+        # Provenance: per-flow register extractions resolve the packet
+        # that last wrote the slot, and shipped reports inherit that
+        # trace id on their way through Logstash to the archive.
+        self._trace = provenance.tracer()
+
         # Telemetry handles are bound once here; when disabled every hook
         # below reduces to an ``is None`` test.
         self._tel_cycle_ns = None
@@ -196,6 +202,15 @@ class MonitorControlPlane:
             self._timers[kind].cancel()
             self._arm(kind)
 
+    def _read_traced(self, name: str, index: int, flow_id: int = -1) -> int:
+        """Runtime register read that also records the control-plane
+        extraction against the packet that last wrote the cell."""
+        value = self.runtime.read_register(name, index)
+        if self._trace is not None:
+            self._trace.control_read(name, index, self.sim.now,
+                                     value=value, flow_id=flow_id)
+        return value
+
     # -- digest handlers ------------------------------------------------------------
 
     def _on_long_flow(self, _name: str, payload: dict) -> None:
@@ -214,7 +229,7 @@ class MonitorControlPlane:
     def _on_termination(self, _name: str, payload: dict) -> None:
         fid = payload["flow_id"]
         mask = self.config.flow_slots - 1
-        retx = self.runtime.read_register("pkt_loss", fid & mask)
+        retx = self._read_traced("pkt_loss", fid & mask, flow_id=fid)
         report = FlowTerminationReport(
             flow_id=fid,
             src_ip=payload["src_ip"],
@@ -244,6 +259,13 @@ class MonitorControlPlane:
             port_id=payload.get("port_id", 0),
         )
         self.microbursts.append(event)
+        if self._trace is not None:
+            self._trace.fire("microburst", self.sim.now,
+                             start_ns=event.start_ns,
+                             duration_ns=event.duration_ns,
+                             peak_queue_delay_ns=event.peak_queue_delay_ns,
+                             packets=event.packets,
+                             port_id=event.port_id)
         self._ship(event)
 
     # -- extraction ticks ----------------------------------------------------------
@@ -260,7 +282,8 @@ class MonitorControlPlane:
         byte_deltas: List[int] = []
         boosted = self.alerts.metric_boosted(kind)
         for flow in self._active_flows():
-            total = self.runtime.read_register("flow_bytes", flow.slot)
+            total = self._read_traced("flow_bytes", flow.slot,
+                                      flow_id=flow.flow_id)
             delta = total - flow.last_bytes
             flow.last_bytes = total
             thr = throughput_bps(delta, interval)
@@ -309,8 +332,10 @@ class MonitorControlPlane:
         boosted = self.alerts.metric_boosted(kind)
         mask = self.config.flow_slots - 1
         for flow in self._active_flows():
-            losses = self.runtime.read_register("pkt_loss", flow.flow_id & mask)
-            pkts = self.runtime.read_register("flow_pkts", flow.slot)
+            losses = self._read_traced("pkt_loss", flow.flow_id & mask,
+                                       flow_id=flow.flow_id)
+            pkts = self._read_traced("flow_pkts", flow.slot,
+                                     flow_id=flow.flow_id)
             loss_delta = losses - flow.last_loss
             flow.last_loss = losses
             pkt_delta = max(1, pkts - flow.last_pkts)
@@ -337,7 +362,9 @@ class MonitorControlPlane:
     def _limiter_step(self, flow: TrackedFlow, loss_delta: int, now: int) -> None:
         flight = self.monitor.flight.flight_bytes(flow.flow_id)
         self.limiter.observe(flow.flow_id, flight, loss_delta)
-        rwnd = self.runtime.read_register("flow_rwnd", flow.flow_id & (self.config.flow_slots - 1))
+        rwnd = self._read_traced("flow_rwnd",
+                                 flow.flow_id & (self.config.flow_slots - 1),
+                                 flow_id=flow.flow_id)
         verdict, mean_flight, cv, losses = self.limiter.classify(flow.flow_id, rwnd)
         flow.verdict = verdict
         report = LimiterReport(
@@ -362,7 +389,8 @@ class MonitorControlPlane:
         for flow in self._active_flows():
             # Algorithm 1 stores the RTT under the ACK direction's flow ID,
             # i.e. the tracked flow's *reversed* ID.
-            rtt_ns = self.runtime.read_register("rtt", flow.rev_flow_id & mask)
+            rtt_ns = self._read_traced("rtt", flow.rev_flow_id & mask,
+                                       flow_id=flow.flow_id)
             if rtt_ns == 0:
                 continue  # no sample yet
             rtt_ms = rtt_ns / 1e6
@@ -414,7 +442,8 @@ class MonitorControlPlane:
             idx = flow.flow_id & mask
             # Peak-hold since the previous tick gives the occupancy the
             # sampling interval actually experienced; clear after reading.
-            peak = self.runtime.read_register("flow_qdelay_max", idx)
+            peak = self._read_traced("flow_qdelay_max", idx,
+                                     flow_id=flow.flow_id)
             self.runtime.clear_register("flow_qdelay_max", idx)
             occupancy_pct = 100.0 * peak / max_delay if max_delay else 0.0
             sample = FlowSample(
@@ -455,6 +484,18 @@ class MonitorControlPlane:
                 kind = payload.get("type", "unknown") if isinstance(payload, dict) \
                     else type(report).__name__
                 self._tel_reports.labels(kind).inc()
+            if self._trace is not None:
+                doc_type = payload.get("type", "unknown") \
+                    if isinstance(payload, dict) else type(report).__name__
+                # Report context: downstream (Logstash, archiver) events
+                # attach to the packet behind the latest extraction.
+                self._trace.begin_report(self.sim.now)
+                self._trace.report_event("control-plane", "ship", doc_type)
+                try:
+                    self.report_sink(payload)
+                finally:
+                    self._trace.end_report()
+                return
             self.report_sink(payload)
 
     # -- convenience queries (used by experiments/examples) ---------------------------

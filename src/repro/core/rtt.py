@@ -24,6 +24,7 @@ from __future__ import annotations
 import struct
 
 from repro.netsim.packet import TCPFlags
+from repro.telemetry import provenance
 from repro.p4.hashes import crc32_bytes
 from repro.p4.pipeline import PipelineStage, StandardMetadata
 from repro.p4.parser import ParsedHeaders
@@ -52,6 +53,7 @@ class RttLossStage(PipelineStage):
         self.eack_ts = program.register(RegisterArray("eack_ts", self.stash_size, ts_bits))
         self.eack_sig = program.register(RegisterArray("eack_sig", self.stash_size, 32))
 
+        self._trace = provenance.tracer()
         self.rtt_matches = 0
         self.rtt_misses = 0      # ACK arrived, no stashed signature
         self.rtt_stale = 0       # match older than rtt_max_age_ns, discarded
@@ -84,6 +86,9 @@ class RttLossStage(PipelineStage):
         if prev != 0 and ((seq - prev) & 0xFFFFFFFF) >= 0x80000000:
             # Sequence regressed: a retransmission implies a lost packet.
             self.pkt_loss.add(idx, 1)
+            if self._trace is not None:
+                self._trace.fire("loss-regression", meta.ingress_timestamp_ns,
+                                 flow_id=meta.flow_id, seq=seq, prev_seq=prev)
         else:
             self.prev_seq.write(idx, seq)
             eack = hdr.expected_ack

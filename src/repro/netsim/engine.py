@@ -17,6 +17,7 @@ import itertools
 from typing import Any, Callable, Optional
 
 from repro import telemetry
+from repro.telemetry import provenance
 
 
 class Event:
@@ -98,6 +99,10 @@ class Simulator:
         # Telemetry stays out of the event loop: counters are pushed once
         # per run()/run_until() call, and queue depth is pulled at
         # snapshot time by a collector (near-zero cost when disabled).
+        # Provenance: components built around this simulator (ports,
+        # links, switches, taps) pick up the tracer from here, so one
+        # enable() before construction wires the whole topology.
+        self.trace = provenance.tracer()
         self._tel_events = None
         if telemetry.enabled():
             self._tel_events = telemetry.counter(

@@ -49,6 +49,7 @@ class Port:
         "drop_hooks",
         "ecn_threshold_bytes",
         "ce_marked",
+        "_trace",
     )
 
     def __init__(
@@ -81,6 +82,7 @@ class Port:
         # waiting bytes are marked CE instead of waiting for a tail drop.
         self.ecn_threshold_bytes: Optional[int] = None
         self.ce_marked = 0
+        self._trace = sim.trace
 
     # -- data path ----------------------------------------------------------
 
@@ -91,6 +93,11 @@ class Port:
         if self.busy:
             if self.queued_bytes + pkt.wire_len > self.queue_limit_bytes:
                 self.drops += 1
+                if self._trace is not None and self._trace.wants(pkt):
+                    self._trace.packet_event(
+                        "netsim", "drop", self.name, pkt, self.sim.now,
+                        queued_bytes=self.queued_bytes,
+                        queue_pkts=len(self._queue))
                 for hook in self.drop_hooks:
                     hook(pkt)
                 return False
@@ -103,6 +110,11 @@ class Port:
                 self.ce_marked += 1
             self._queue.append(pkt)
             self.queued_bytes += pkt.wire_len
+            if self._trace is not None and self._trace.wants(pkt):
+                self._trace.packet_event(
+                    "netsim", "enqueue", self.name, pkt, self.sim.now,
+                    queued_bytes=self.queued_bytes,
+                    queue_pkts=len(self._queue))
             return True
         self._transmit(pkt)
         return True
@@ -116,6 +128,11 @@ class Port:
         self.tx_packets += 1
         self.tx_bytes += pkt.wire_len
         now = self.sim.now
+        if self._trace is not None and self._trace.wants(pkt):
+            self._trace.packet_event(
+                "netsim", "dequeue", self.name, pkt, now,
+                queued_bytes=self.queued_bytes,
+                queue_pkts=len(self._queue))
         # Egress TAP point: the moment the last bit leaves the switch.
         for mirror in self.egress_mirrors:
             mirror(pkt, now)
@@ -150,7 +167,7 @@ class Link:
     """
 
     __slots__ = ("sim", "a", "b", "delay_ns", "impairments", "delivered",
-                 "impairment_drops", "drop_hooks", "name")
+                 "impairment_drops", "drop_hooks", "name", "_trace")
 
     def __init__(
         self,
@@ -176,6 +193,7 @@ class Link:
         # Port's own drop_hooks; together the two cover every loss point.
         self.drop_hooks: List[Callable[[Packet, Port], None]] = []
         self.name = name or f"{a.name}<->{b.name}"
+        self._trace = sim.trace
         a.link = self
         b.link = self
 
@@ -193,6 +211,10 @@ class Link:
             verdict = imp.process(pkt)
             if verdict is None:  # dropped by the impairment
                 self.impairment_drops += 1
+                if self._trace is not None and self._trace.wants(pkt):
+                    self._trace.packet_event(
+                        "netsim", "drop", self.name, pkt, self.sim.now,
+                        cause="impairment")
                 for hook in self.drop_hooks:
                     hook(pkt, from_port)
                 return

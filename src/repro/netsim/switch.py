@@ -31,6 +31,7 @@ class LegacySwitch(Node):
         self.ingress_mirrors: List[MirrorFn] = []
         self.rx_packets = 0
         self.no_route_drops = 0
+        self._trace = sim.trace
 
     # -- control ------------------------------------------------------------
 
@@ -53,6 +54,9 @@ class LegacySwitch(Node):
     def receive(self, pkt: Packet, port: Port) -> None:
         self.rx_packets += 1
         now = self.sim.now
+        if self._trace is not None and self._trace.wants(pkt):
+            self._trace.packet_event("netsim", "switch-rx", self.name,
+                                     pkt, now, port=port.name)
         for mirror in self.ingress_mirrors:
             mirror(pkt, now)
         out = self.route_for(pkt.dst_ip)

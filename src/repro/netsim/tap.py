@@ -102,6 +102,7 @@ class OpticalTap:
         self.copies_lost = 0
         self.copies_ingress = 0
         self.copies_egress = 0
+        self._trace = sim.trace
 
         switch.ingress_mirrors.append(self._mirror_ingress)
         ports = list(egress_ports) if egress_ports is not None else switch.ports
@@ -127,7 +128,18 @@ class OpticalTap:
     def _ship(self, copy: MirrorCopy) -> None:
         if self.copy_loss_rate > 0.0 and self._rng.random() < self.copy_loss_rate:
             self.copies_lost += 1
+            if self._trace is not None and self._trace.wants(copy.pkt):
+                self._trace.packet_event(
+                    "netsim", "tap-copy-lost", copy.direction.value,
+                    copy.pkt, copy.timestamp_ns)
             return
+        # The copy shares the original Packet object, so it inherits the
+        # trace id; this event marks the fork onto the monitor path.
+        if self._trace is not None and self._trace.wants(copy.pkt):
+            self._trace.packet_event(
+                "netsim", "tap-copy", copy.direction.value,
+                copy.pkt, copy.timestamp_ns,
+                egress_port_id=copy.egress_port_id)
         if self.fiber_delay_ns == 0:
             self.sink(copy)
         else:

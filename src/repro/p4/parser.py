@@ -21,6 +21,7 @@ from repro.netsim.packet import (
     Packet,
     TCPFlags,
 )
+from repro.telemetry import provenance
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,6 +78,9 @@ class HeaderParser:
     def __init__(self) -> None:
         self.accepted = 0
         self.rejected = 0
+        # Provenance events attach to the packet context the pipeline
+        # opened (tracer.event is a no-op outside a traversal).
+        self._trace = provenance.tracer()
 
     def parse(self, packet: Union[Packet, bytes]) -> Optional[ParsedHeaders]:
         """Returns the extracted headers, or None for rejected (non-TCP/
@@ -104,8 +108,13 @@ class HeaderParser:
                 data_offset=pkt.data_offset,
                 ecn=pkt.ecn,
             )
-        except (ParserError, ValueError):
+        except (ParserError, ValueError) as exc:
             self.rejected += 1
+            if self._trace is not None and self._trace._ctx_rec:
+                self._trace.event("p4", "parser-reject", "parser",
+                                  reason=str(exc))
             return None
         self.accepted += 1
+        if self._trace is not None and self._trace._ctx_rec:
+            self._trace.event("p4", "parser-accept", "parser")
         return headers

@@ -17,6 +17,7 @@ from typing import List, Optional
 
 from repro import telemetry
 from repro.p4.parser import HeaderParser, ParsedHeaders
+from repro.telemetry import provenance
 
 
 @dataclass
@@ -59,6 +60,7 @@ class P4Pipeline:
         self.packets_dropped = 0
         # Instrumentation is bound at construction: when telemetry is off
         # the per-packet cost is one ``is None`` test in process().
+        self._trace = provenance.tracer()
         self._tel_stage_pkts = None
         if telemetry.enabled():
             self._tel_stage_pkts = telemetry.counter(
@@ -97,6 +99,8 @@ class P4Pipeline:
         Returns the parsed headers (None if the parser rejected or a
         stage dropped it).
         """
+        if self._trace is not None and getattr(packet, "uid", None) is not None:
+            return self._process_traced(packet, meta)
         if self._tel_stage_pkts is not None:
             return self._process_instrumented(packet, meta)
         self.packets_in += 1
@@ -142,3 +146,50 @@ class P4Pipeline:
                     return None
         self._tel_latency.observe(time.perf_counter_ns() - t0)
         return hdr
+
+    def _process_traced(self, packet, meta: StandardMetadata) -> Optional[ParsedHeaders]:
+        """Provenance twin of :meth:`process`: opens the packet context so
+        the parser, every stage, and the registers/sketches they touch
+        attribute their events to this packet — while still feeding the
+        telemetry counters when both subsystems are enabled."""
+        trace = self._trace
+        tel = self._tel_stage_pkts is not None
+        t0 = time.perf_counter_ns() if tel else 0
+        trace.begin_packet(packet, meta.ingress_timestamp_ns)
+        # Unsampled packets skip the per-stage event calls entirely — the
+        # coarse-only overhead budget in benchmarks/test_trace_overhead.py
+        # rides on this flag.
+        rec = trace._ctx_rec
+        try:
+            self.packets_in += 1
+            if tel:
+                self._tel_parser.inc()
+            hdr = self.parser.parse(packet)
+            if hdr is None:
+                self.packets_dropped += 1
+                if tel:
+                    self._tel_stage_drops.labels(self.name, "parser").inc()
+                    self._tel_latency.observe(time.perf_counter_ns() - t0)
+                return None
+            i = 0
+            for block in (self.ingress, self.egress):
+                for stage in block:
+                    if tel:
+                        self._tel_stage_cells[i].inc()
+                    i += 1
+                    if rec:
+                        trace.event("p4", "stage", stage.name)
+                    stage.process(hdr, meta)
+                    if meta.drop:
+                        self.packets_dropped += 1
+                        if rec:
+                            trace.event("p4", "stage-drop", stage.name)
+                        if tel:
+                            self._tel_stage_drops.labels(self.name, stage.name).inc()
+                            self._tel_latency.observe(time.perf_counter_ns() - t0)
+                        return None
+            if tel:
+                self._tel_latency.observe(time.perf_counter_ns() - t0)
+            return hdr
+        finally:
+            trace.end_packet()

@@ -14,6 +14,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.telemetry import provenance
+
 
 class RegisterArray:
     """A register array of ``size`` cells, each ``width_bits`` wide."""
@@ -31,6 +33,12 @@ class RegisterArray:
         self._cells = np.zeros(size, dtype=np.uint64)
         # Plain-int data-plane op tally, pulled by the telemetry collector.
         self.ops = 0
+        # Provenance: mutating ops report old -> new under the packet
+        # context (and feed the last-writer map the control plane uses
+        # to attribute extractions).  Reads stay untraced.
+        self._trace = provenance.tracer()
+        self._lw = (None if self._trace is None
+                    else self._trace.writer_map(name, size))
 
     # -- data-plane access (per packet) ---------------------------------------
 
@@ -40,20 +48,52 @@ class RegisterArray:
 
     def write(self, index: int, value: int) -> None:
         self.ops += 1
+        tr = self._trace
+        if tr is not None:
+            tid = tr._ctx_id
+            if tid:
+                if tr._ctx_rec:
+                    old = int(self._cells[index])
+                    self._cells[index] = value & self._mask
+                    tr.register_write(self.name, index, old,
+                                      value & self._mask)
+                    return
+                # Unsampled packet: keep the last-writer linkage exact
+                # (the control plane must not attribute this cell to an
+                # older, sampled packet) without paying for the event.
+                self._lw[index] = tid
         self._cells[index] = value & self._mask
 
     def add(self, index: int, value: int) -> int:
         """Read-modify-write increment; returns the new value."""
         self.ops += 1
-        new = (int(self._cells[index]) + value) & self._mask
+        old = int(self._cells[index])
+        new = (old + value) & self._mask
         self._cells[index] = new
+        tr = self._trace
+        if tr is not None:
+            tid = tr._ctx_id
+            if tid:
+                if tr._ctx_rec:
+                    tr.register_write(self.name, index, old, new)
+                else:
+                    self._lw[index] = tid
         return new
 
     def maximum(self, index: int, value: int) -> int:
         """Tofino-style max ALU: keep the larger of cell and value."""
         self.ops += 1
-        new = max(int(self._cells[index]), value & self._mask)
+        old = int(self._cells[index])
+        new = max(old, value & self._mask)
         self._cells[index] = new
+        tr = self._trace
+        if tr is not None:
+            tid = tr._ctx_id
+            if tid:
+                if tr._ctx_rec:
+                    tr.register_write(self.name, index, old, new)
+                else:
+                    self._lw[index] = tid
         return new
 
     # -- control-plane access (bulk) -----------------------------------------

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.netsim.packet import FiveTuple
 from repro.p4.hashes import HashEngine, pack_five_tuple
+from repro.telemetry import provenance
 
 
 class CountMinSketch:
@@ -40,6 +41,7 @@ class CountMinSketch:
         # Plain-int op tallies, pulled by the telemetry collector.
         self.updates = 0
         self.queries = 0
+        self._trace = provenance.tracer()
 
     # -- data-plane operations ----------------------------------------------
 
@@ -58,12 +60,18 @@ class CountMinSketch:
             for r, i in enumerate(idx):
                 if self._rows[r, i] < target:
                     self._rows[r, i] = target
+            if self._trace is not None and self._trace._ctx_rec:
+                self._trace.event("register", "sketch-update", "cms",
+                                  amount=amount, estimate=target)
             return target
         est = None
         for r, i in enumerate(idx):
             v = int(self._rows[r, i]) + amount
             self._rows[r, i] = v
             est = v if est is None else min(est, v)
+        if self._trace is not None and self._trace._ctx_rec:
+            self._trace.event("register", "sketch-update", "cms",
+                              amount=amount, estimate=int(est))
         return int(est)
 
     def query(self, key: bytes) -> int:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro import telemetry
+from repro.telemetry import provenance
 from repro.perfsonar.logstash import (
     LogstashPipeline,
     OpenSearchOutputPlugin,
@@ -32,6 +33,7 @@ class Archiver:
         self.pipeline.add_output(self.output)
         self.tcp_input = TcpInputPlugin(self.pipeline)
         self.index_prefix = index_prefix
+        self._trace = provenance.tracer()
         self._tel_records = None
         if telemetry.enabled():
             self._tel_records = telemetry.counter(
@@ -50,6 +52,9 @@ class Archiver:
 
     # The control-plane report sink (accepts Report_v1 dicts).
     def sink(self, report: dict) -> None:
+        if self._trace is not None and isinstance(report, dict):
+            self._trace.report_event("archiver", "archive", self.index_prefix,
+                                     doc_type=report.get("type"))
         if self._tel_records is not None:
             self._tel_records.inc()
             if isinstance(report, dict):

@@ -21,6 +21,7 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from repro import telemetry
+from repro.telemetry import provenance
 from repro.perfsonar.opensearch import OpenSearchStore
 
 FilterFn = Callable[[dict], Optional[dict]]
@@ -36,6 +37,7 @@ class LogstashPipeline:
         self.events_in = 0
         self.events_out = 0
         self.events_dropped = 0
+        self._trace = provenance.tracer()
         self._tel_events = None
         if telemetry.enabled():
             self._tel_events = telemetry.counter(
@@ -62,10 +64,17 @@ class LogstashPipeline:
             doc = fn(doc)
             if doc is None:
                 self.events_dropped += 1
+                if self._trace is not None:
+                    self._trace.report_event("archiver", "logstash-drop",
+                                             self.name,
+                                             doc_type=event.get("type"))
                 if tel is not None:
                     self._tel_filter_ns.observe(time.perf_counter_ns() - t0)
                     tel.labels(self.name, "dropped").inc()
                 return None
+        if self._trace is not None:
+            self._trace.report_event("archiver", "logstash-ship", self.name,
+                                     doc_type=doc.get("type"))
         if tel is not None:
             self._tel_filter_ns.observe(time.perf_counter_ns() - t0)
             tel.labels(self.name, "shipped").inc()

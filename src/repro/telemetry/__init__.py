@@ -47,6 +47,11 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     TelemetryError,
 )
+from repro.telemetry.provenance import (
+    FrozenWindow,
+    ProvenanceTracer,
+    TraceEvent,
+)
 from repro.telemetry.spans import NULL_SPAN, Tracer
 from repro.telemetry.timeseries import (
     DEFAULT_INTERVAL_NS,
@@ -75,6 +80,7 @@ __all__ = [
     "DEFAULT_INTERVAL_NS", "DEFAULT_RETENTION",
     "TelemetryHTTPServer", "TelemetryPusher", "PROM_CONTENT_TYPE",
     "render_watch", "sparkline",
+    "ProvenanceTracer", "TraceEvent", "FrozenWindow",
 ]
 
 _registry = MetricsRegistry()

@@ -25,6 +25,7 @@ import logging
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, List, Optional
+from urllib.parse import parse_qs, urlsplit
 
 from repro.telemetry.export import to_json, to_prometheus_text
 from repro.telemetry.metrics import MetricsRegistry
@@ -42,7 +43,18 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         owner: "TelemetryHTTPServer" = self.server.owner  # type: ignore[attr-defined]
-        path = self.path.split("?", 1)[0]
+        if owner.closing:
+            # A request racing shutdown must not hit a half-torn-down
+            # owner; tell the scraper to come back later.
+            self._reply(503, "text/plain", "shutting down\n")
+            return
+        try:
+            parts = urlsplit(self.path)
+            query = parse_qs(parts.query, strict_parsing=bool(parts.query))
+        except ValueError:
+            self._reply(400, "text/plain", "malformed query string\n")
+            return
+        path = parts.path
         if path == "/metrics":
             body = to_prometheus_text(owner.snapshot())
             self._reply(200, PROM_CONTENT_TYPE, body)
@@ -52,9 +64,22 @@ class _Handler(BaseHTTPRequestHandler):
             store = owner.store
             if store is None:
                 self._reply(404, "text/plain", "no time-series store attached\n")
-            else:
-                self._reply(200, "application/json",
-                            json.dumps(store.dump(), sort_keys=True))
+                return
+            since = 0
+            if "since" in query:
+                raw = query["since"][-1]
+                try:
+                    since = int(raw)
+                except ValueError:
+                    self._reply(400, "text/plain",
+                                f"since must be an integer, got {raw!r}\n")
+                    return
+                if since < 0:
+                    self._reply(400, "text/plain",
+                                "since must be >= 0 (nanoseconds)\n")
+                    return
+            self._reply(200, "application/json",
+                        json.dumps(store.dump(since=since), sort_keys=True))
         elif path == "/healthz":
             self._reply(200, "text/plain", "ok\n")
         else:
@@ -63,11 +88,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _reply(self, status: int, ctype: str, body: str) -> None:
         data = body.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", ctype)
-        self.send_header("Content-Length", str(len(data)))
-        self.end_headers()
-        self.wfile.write(data)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", ctype)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+        except OSError:
+            # Client hung up mid-reply (or the socket died during
+            # shutdown) — nothing useful to do from the handler thread.
+            log.debug("client disconnected before reply completed")
 
     def log_message(self, fmt: str, *args) -> None:
         log.debug("scrape %s", fmt % args)
@@ -91,6 +121,10 @@ class TelemetryHTTPServer:
         self.port = port
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
+        # Set while close() tears the server down: handler threads that
+        # already accepted a connection answer 503 instead of racing the
+        # teardown and raising.
+        self.closing = False
 
     def snapshot(self) -> dict:
         if self._registry is not None:
@@ -101,6 +135,7 @@ class TelemetryHTTPServer:
     def start(self) -> tuple:
         if self._httpd is not None:
             return self._httpd.server_address
+        self.closing = False
         httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
         httpd.daemon_threads = True
         httpd.owner = self  # type: ignore[attr-defined]
@@ -117,6 +152,7 @@ class TelemetryHTTPServer:
         return f"http://{self.host}:{self.port}"
 
     def close(self) -> None:
+        self.closing = True
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()

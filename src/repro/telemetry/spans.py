@@ -70,8 +70,16 @@ class _Span:
         # A mismatched pop only happens if __exit__ runs twice; guard anyway.
         if stack and stack[-1] == self.path:
             stack.pop()
-        self.tracer._record(self.path, wall,
-                            self.clock.now - self.t0_sim if self.clock is not None else None)
+        sim_delta = self.clock.now - self.t0_sim if self.clock is not None else None
+        self.tracer._record(self.path, wall, sim_delta)
+        log = self.tracer.span_log
+        if log is not None:
+            log.append({
+                "path": self.path,
+                "t0_ns": self.t0_sim if self.clock is not None else None,
+                "dur_ns": sim_delta,
+                "wall_ns": wall,
+            })
         return False
 
 
@@ -81,6 +89,11 @@ class Tracer:
     def __init__(self, registry: MetricsRegistry) -> None:
         self.registry = registry
         self.enabled = False
+        # Provenance bridge: when a list is attached here (see
+        # repro.telemetry.provenance.enable), each completed span also
+        # appends a dict record so spans export onto the Perfetto
+        # timeline next to the packet events.
+        self.span_log: Optional[List[dict]] = None
         self._stack: List[str] = []
         self._wall = registry.histogram(
             WALL_FAMILY, "wall-clock time per traced operation",

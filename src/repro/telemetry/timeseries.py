@@ -125,14 +125,17 @@ class TimeSeries:
     def __len__(self) -> int:
         return len(self._points)
 
-    def dump(self) -> dict:
+    def dump(self, since: int = 0) -> dict:
+        """Serialisable form; ``since`` keeps only points at or after
+        that sim timestamp (incremental scrapes)."""
         return {
             "name": self.name,
             "labels": dict(self.labels),
             "kind": self.kind,
             "stride": self.stride,
             "retention": self.retention,
-            "points": [list(p) for p in self._points],
+            "points": [list(p) for p in self._points
+                       if p.time_ns >= since],
         }
 
 
@@ -226,9 +229,9 @@ class TimeSeriesStore:
     def __len__(self) -> int:
         return len(self._series)
 
-    def dump(self) -> dict:
+    def dump(self, since: int = 0) -> dict:
         return {"retention": self.retention,
-                "series": [s.dump() for s in sorted(
+                "series": [s.dump(since=since) for s in sorted(
                     self._series.values(), key=lambda s: (s.name, s.labels))]}
 
 

@@ -297,7 +297,18 @@ class ValidationRun:
 
     def check(self):
         from repro.validation.checker import DifferentialChecker
-        return DifferentialChecker(
+        report = DifferentialChecker(
             self.scenario.control_plane, self.oracle,
             reordering=self.spec.has_reordering,
         ).check()
+        if not report.passed:
+            # Provenance trigger: a differential mismatch freezes the
+            # fine window so the packets behind the bad measurement are
+            # preserved for diagnosis (no-op when tracing is off).
+            from repro.telemetry import provenance
+            trace = provenance.tracer()
+            if trace is not None:
+                trace.fire("oracle-mismatch", self.scenario.sim.now,
+                           seed=self.spec.seed,
+                           failures=[str(f) for f in report.failures][:5])
+        return report

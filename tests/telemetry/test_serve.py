@@ -91,6 +91,67 @@ def test_scrape_serves_global_registry_by_default():
     assert "repro_global_total 5" in body
 
 
+# -- error paths (malformed queries, shutdown races, /series?since=) ---------
+
+
+def test_malformed_query_string_returns_400(server):
+    srv, _reg, _store = server
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get(srv.url + "/series?since%3D&=&")
+    assert err.value.code == 400
+
+
+def test_series_since_must_be_a_nonnegative_integer(server):
+    srv, _reg, _store = server
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get(srv.url + "/series?since=banana")
+    assert err.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get(srv.url + "/series?since=-5")
+    assert err.value.code == 400
+
+
+def test_series_since_filters_points(server):
+    srv, reg, store = server
+    store.record(500 * MS, reg.snapshot())
+    _status, _ctype, body = _get(srv.url + f"/series?since={400 * MS}")
+    dump = json.loads(body)
+    for series in dump["series"]:
+        times = [p[0] for p in series["points"]]
+        assert all(t >= 400 * MS for t in times)
+        assert 500 * MS in times  # the newer point survived the filter
+    # Without the filter both points are there.
+    _status, _ctype, body = _get(srv.url + "/series")
+    assert any(len(s["points"]) == 2 for s in json.loads(body)["series"])
+
+
+def test_request_during_shutdown_returns_503(server):
+    srv, _reg, _store = server
+    # Simulate the teardown race: the flag is up but the socket still
+    # accepts — exactly the window a scraper can hit mid-close().
+    srv.closing = True
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get(srv.url + "/metrics")
+    assert err.value.code == 503
+    srv.closing = False
+    status, _ctype, _body = _get(srv.url + "/metrics")
+    assert status == 200
+
+
+def test_restart_clears_the_closing_flag():
+    srv = TelemetryHTTPServer(registry=_static_registry())
+    srv.start()
+    srv.close()
+    assert srv.closing
+    try:
+        srv.start()
+        assert not srv.closing
+        status, _ctype, _body = _get(srv.url + "/healthz")
+        assert status == 200
+    finally:
+        srv.close()
+
+
 # -- push mode ----------------------------------------------------------------
 
 
