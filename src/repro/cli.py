@@ -344,6 +344,58 @@ def _validate(args) -> str:
     return "\n".join(lines)
 
 
+def _chaos(args) -> str:
+    """Fault-injection runs (docs/robustness.md): a seeded workload plus
+    a fault schedule over the report path, then settle the books — no
+    acked-report loss, exactly-once archive, oracle checks still green.
+    Failing runs are serialised as replayable artifacts."""
+    from pathlib import Path
+
+    from repro.resilience.chaos import (
+        ChaosSpec,
+        bundled_chaos,
+        load_spec,
+        run_chaos,
+        write_artifact,
+    )
+
+    artifact_dir = Path(args.artifact_dir)
+    lines = []
+    failed = False
+
+    def _run_one(name: str, spec) -> None:
+        nonlocal failed
+        log.info("chaos: %s (%s)", name, spec.schedule)
+        result = run_chaos(spec)
+        lines.append(result.summary())
+        if not result.passed:
+            failed = True
+            artifact_dir.mkdir(parents=True, exist_ok=True)
+            path = artifact_dir / f"chaos-{name}.json"
+            write_artifact(result, str(path))
+            lines.append(f"  artifact: {path}")
+
+    if args.schedule is not None:
+        spec = load_spec(args.schedule)
+        name = Path(args.schedule).stem if "." in args.schedule \
+            else args.schedule
+        _run_one(name, spec)
+    else:
+        seeds = _seeds(args.seed)
+        if len(seeds) == 1:
+            # One seed: run every bundled schedule under it, then one
+            # fully seed-derived spec.
+            for name, spec in bundled_chaos(seed=seeds[0]).items():
+                _run_one(name, spec)
+            _run_one(f"seed{seeds[0]}", ChaosSpec.from_seed(seeds[0]))
+        else:
+            for seed in seeds:
+                _run_one(f"seed{seed}", ChaosSpec.from_seed(seed))
+    if failed:
+        args._chaos_failed = True
+    return "\n".join(lines)
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "fig9": _fig9,
     "fig10": _fig10,
@@ -357,6 +409,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "watch": _watch,
     "validate": _validate,
     "trace": _trace,
+    "chaos": _chaos,
 }
 
 
@@ -449,6 +502,13 @@ def build_parser() -> argparse.ArgumentParser:
                                "written (default: validation-artifacts)")
     validate.add_argument("--no-shrink", action="store_true",
                           help="skip shrinking failing scenarios")
+    chaos = parser.add_argument_group("fault injection (chaos mode)")
+    chaos.add_argument("--schedule", metavar="NAME_OR_FILE", default=None,
+                       help="a bundled schedule name (archiver-outage, "
+                            "slow-drain, lossy-transport, cp-stall-skew, "
+                            "kitchen-sink), a fault-schedule JSON file, or "
+                            "a failed-run artifact to replay; default: "
+                            "every bundled schedule plus a seed-derived run")
     return parser
 
 
@@ -492,6 +552,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         names.remove("watch")
         names.remove("validate")
         names.remove("trace")
+        names.remove("chaos")
     # --trace-out: provenance capture around any experiment ('trace'
     # manages its own tracer and export through --out).
     capture = args.trace_out is not None and args.experiment != "trace"
@@ -522,6 +583,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"\n{'=' * 70}\n  telemetry\n{'=' * 70}")
         print(_render_snapshot(args))
     if getattr(args, "_validate_failed", False):
+        return 1
+    if getattr(args, "_chaos_failed", False):
         return 1
     return 1 if getattr(args, "_telemetry_write_failed", False) else 0
 

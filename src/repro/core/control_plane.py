@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro import telemetry
 from repro.telemetry import provenance
+from repro.resilience import faults
 from repro.netsim.engine import Event, Simulator
 from repro.netsim.units import NS_PER_S
 from repro.core.alerts import AlertManager
@@ -107,6 +108,22 @@ class MonitorControlPlane:
             MetricKind.QUEUE_OCCUPANCY: self._tick_queue,
         }
 
+        # Resilience state.  ``last_extraction_ns`` is when each metric
+        # class actually last ran (rates window over real elapsed time,
+        # not the configured interval, so a stalled tick cannot
+        # mis-window throughput); deferred ticks consolidate into one
+        # bounded catch-up tick.  ``degraded`` collapses per-flow
+        # shipping to the aggregate stream and widens intervals by
+        # ``interval_scale`` (driven by the delivery circuit breaker).
+        self._faults = faults.injector()
+        self.last_extraction_ns: Dict[MetricKind, int] = {}
+        self.ticks_deferred: Dict[MetricKind, int] = {k: 0 for k in MetricKind}
+        self.catchup_ticks: Dict[MetricKind, int] = {k: 0 for k in MetricKind}
+        self._deferred_pending: Dict[MetricKind, bool] = {}
+        self.degraded = False
+        self._interval_scale = 1.0
+        self.reports_suppressed = 0
+
         self.runtime.subscribe_digest("long_flow", self._on_long_flow)
         self.runtime.subscribe_digest("flow_termination", self._on_termination)
         self.runtime.subscribe_digest("microburst", self._on_microburst)
@@ -142,6 +159,24 @@ class MonitorControlPlane:
                 labels=("metric",))
             telemetry.registry().add_collector(
                 lambda _reg, cp=self, g=alerts_gauge: cp._collect_alerts(g))
+            self._tel_deferred = telemetry.counter(
+                "repro_cp_tick_deferred_total",
+                "extraction ticks deferred by an injected control-plane "
+                "stall, per metric class", labels=("metric",))
+            self._tel_catchup = telemetry.counter(
+                "repro_cp_tick_catchup_total",
+                "consolidated catch-up extraction ticks run after a stall, "
+                "per metric class", labels=("metric",))
+            self._tel_suppressed = telemetry.counter(
+                "repro_cp_reports_suppressed_total",
+                "per-flow reports suppressed while degraded, by report type",
+                labels=("type",))
+            degraded_gauge = telemetry.gauge(
+                "repro_cp_degraded",
+                "1 while the control plane is in degraded reporting mode")
+            telemetry.registry().add_collector(
+                lambda _reg, cp=self, g=degraded_gauge: g.set(
+                    1 if cp.degraded else 0))
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -150,6 +185,7 @@ class MonitorControlPlane:
             return
         self._running = True
         for kind in MetricKind:
+            self.last_extraction_ns[kind] = self.sim.now
             self._arm(kind)
 
     def stop(self) -> None:
@@ -159,13 +195,33 @@ class MonitorControlPlane:
         self._timers.clear()
 
     def _arm(self, kind: MetricKind) -> None:
+        # Cancel-first: set_degraded can re-arm mid-tick, after which the
+        # normal end-of-tick re-arm would double the timer.
+        existing = self._timers.get(kind)
+        if existing is not None:
+            existing.cancel()
         boosted = self.alerts.metric_boosted(kind)
         interval = self.config.metric(kind).interval_ns(boosted=boosted)
+        interval = int(interval * self._interval_scale)
         self._timers[kind] = self.sim.after(interval, self._tick, kind)
 
     def _tick(self, kind: MetricKind) -> None:
         if not self._running:
             return
+        if self._faults is not None and self._faults.cp_tick_stalled(kind.value):
+            # A stalled extractor does not read registers this interval;
+            # the deltas accumulate and the next tick that does run is
+            # one bounded catch-up windowed over the true elapsed time.
+            self.ticks_deferred[kind] += 1
+            self._deferred_pending[kind] = True
+            if self._tel_cycle_ns is not None:
+                self._tel_deferred.labels(kind.value).inc()
+            self._arm(kind)
+            return
+        if self._deferred_pending.pop(kind, False):
+            self.catchup_ticks[kind] += 1
+            if self._tel_cycle_ns is not None:
+                self._tel_catchup.labels(kind.value).inc()
         if self._tel_cycle_ns is not None:
             with telemetry.span("cp.extract", self.sim):
                 t0 = time.perf_counter_ns()
@@ -175,7 +231,31 @@ class MonitorControlPlane:
             self._tel_cycles.labels(kind.value).inc()
         else:
             self._tick_fns[kind]()
+        self.last_extraction_ns[kind] = self.sim.now
         self._arm(kind)
+
+    # -- degraded reporting mode (driven by the delivery circuit breaker) ---------
+
+    @property
+    def interval_scale(self) -> float:
+        """Multiplier currently applied to every extraction interval."""
+        return self._interval_scale
+
+    def set_degraded(self, on: bool, interval_scale: float = 4.0) -> None:
+        """Enter/leave degraded reporting: per-flow FlowSample and
+        LimiterReport shipping is suppressed (local archives still
+        accumulate, and the aggregate stream keeps flowing) and every
+        extraction interval is widened by ``interval_scale``."""
+        if interval_scale < 1.0:
+            raise ValueError("interval_scale must be >= 1")
+        scale = interval_scale if on else 1.0
+        if on == self.degraded and scale == self._interval_scale:
+            return
+        self.degraded = on
+        self._interval_scale = scale
+        if self._running:
+            for kind in MetricKind:
+                self._arm(kind)
 
     # -- runtime reconfiguration (what pSConfig drives, Fig. 5a) ------------------
 
@@ -279,6 +359,13 @@ class MonitorControlPlane:
         interval = self.config.metric(kind).interval_ns(
             boosted=self.alerts.metric_boosted(kind)
         )
+        # Window rates over the time that actually elapsed since the
+        # last extraction — identical to the configured interval when
+        # ticks fire on schedule, but correct across deferred ticks,
+        # boosts and degraded-mode interval changes.
+        elapsed = now - self.last_extraction_ns.get(kind, now - interval)
+        if elapsed <= 0:
+            elapsed = interval
         byte_deltas: List[int] = []
         boosted = self.alerts.metric_boosted(kind)
         for flow in self._active_flows():
@@ -286,7 +373,7 @@ class MonitorControlPlane:
                                       flow_id=flow.flow_id)
             delta = total - flow.last_bytes
             flow.last_bytes = total
-            thr = throughput_bps(delta, interval)
+            thr = throughput_bps(delta, elapsed)
             flow.last_throughput_bps = thr
             byte_deltas.append(delta)
             if delta == 0:
@@ -316,7 +403,7 @@ class MonitorControlPlane:
         aggregate = AggregateSample(
             time_ns=now,
             link_utilization=link_utilization(
-                byte_deltas, interval, self.config.bottleneck_rate_bps
+                byte_deltas, elapsed, self.config.bottleneck_rate_bps
             ),
             jain_fairness=jain_fairness(throughputs) if throughputs else 1.0,
             active_flows=len(active),
@@ -478,6 +565,14 @@ class MonitorControlPlane:
             gauge.labels(metric).set(n)
 
     def _ship(self, report: object) -> None:
+        if self.degraded and isinstance(report, (FlowSample, LimiterReport)):
+            # Degraded mode: per-flow detail collapses to the aggregate
+            # stream (what default perfSONAR ships anyway) until the
+            # delivery path proves healthy again.
+            self.reports_suppressed += 1
+            if self._tel_cycle_ns is not None:
+                self._tel_suppressed.labels(type(report).__name__).inc()
+            return
         if self.report_sink is not None:
             payload = report.to_document() if hasattr(report, "to_document") else report
             if self._tel_cycle_ns is not None:

@@ -21,6 +21,7 @@ from repro.perfsonar.logstash import (
     opensearch_metadata_filter,
 )
 from repro.perfsonar.opensearch import OpenSearchStore
+from repro.resilience.delivery import SequenceDedup
 
 
 class Archiver:
@@ -29,7 +30,9 @@ class Archiver:
         self.store = store or OpenSearchStore()
         self.pipeline = LogstashPipeline("archiver")
         self.pipeline.add_filter(opensearch_metadata_filter)
-        self.output = OpenSearchOutputPlugin(self.store, index_prefix=index_prefix)
+        self.dedup = SequenceDedup()
+        self.output = OpenSearchOutputPlugin(self.store, index_prefix=index_prefix,
+                                             dedup=self.dedup)
         self.pipeline.add_output(self.output)
         self.tcp_input = TcpInputPlugin(self.pipeline)
         self.index_prefix = index_prefix

@@ -17,11 +17,15 @@ pipeline (Table 1's granularity comparison).
 
 from __future__ import annotations
 
+import json
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from repro import telemetry
 from repro.telemetry import provenance
+from repro.resilience import faults
+from repro.resilience.delivery import SequenceDedup
+from repro.resilience.faults import BackpressureError
 from repro.perfsonar.opensearch import OpenSearchStore
 
 FilterFn = Callable[[dict], Optional[dict]]
@@ -87,38 +91,124 @@ class LogstashPipeline:
 class TcpInputPlugin:
     """The TCP input plugin the proposed system uses to connect the
     switch control plane to Logstash (§3.3.5).  ``ingest`` models a
-    newline-delimited JSON message arriving on the socket."""
+    newline-delimited JSON message arriving on the socket (already
+    parsed); ``ingest_line`` takes the raw line and hardens the
+    pipeline against malformed/truncated input: bad lines are dropped
+    and counted (``repro_logstash_malformed_total``) instead of raising
+    mid-pipeline.
+
+    While an injected ``logstash_stall`` fault window is active the
+    input refuses delivery with
+    :class:`~repro.resilience.faults.BackpressureError` — the slow-
+    consumer failure the shipper's spool absorbs."""
 
     def __init__(self, pipeline: LogstashPipeline, port: int = 5044) -> None:
         self.pipeline = pipeline
         self.port = port
         self.messages = 0
+        self.malformed = 0
+        # With no injector installed the stall gate is bound away:
+        # ``self.ingest`` becomes the direct body (the malformed guard
+        # stays — it is hardening, not a fault hook).  ``__call__``
+        # still routes through the gated class method, whose guard then
+        # short-circuits on the first test.
+        self._faults = faults.injector()
+        if self._faults is None:
+            self.ingest = self._ingest_direct
+        self._tel_malformed = None
+        if telemetry.enabled():
+            self._tel_malformed = telemetry.counter(
+                "repro_logstash_malformed_total",
+                "malformed/truncated report lines dropped by the TCP "
+                "input, per pipeline",
+                labels=("pipeline",)).labels(pipeline.name)
+
+    def _drop_malformed(self, reason: str) -> None:
+        self.malformed += 1
+        if self._tel_malformed is not None:
+            self._tel_malformed.inc()
 
     def ingest(self, event: dict) -> Optional[dict]:
+        if self._faults is not None and self._faults.logstash_stalled():
+            raise BackpressureError(
+                f"logstash input on port {self.port} is stalled")
+        return self._ingest_direct(event)
+
+    def _ingest_direct(self, event: dict) -> Optional[dict]:
+        if not isinstance(event, dict):
+            self._drop_malformed("not a JSON object")
+            return None
         self.messages += 1
         return self.pipeline.process(event)
+
+    def ingest_line(self, line: Union[str, bytes]) -> Optional[dict]:
+        """One newline-delimited JSON message straight off the socket."""
+        try:
+            event = json.loads(line)
+        except (ValueError, TypeError, UnicodeDecodeError):
+            # json.JSONDecodeError subclasses ValueError; truncated or
+            # binary garbage must never take the pipeline thread down.
+            if self._faults is not None and self._faults.logstash_stalled():
+                raise BackpressureError(
+                    f"logstash input on port {self.port} is stalled")
+            self._drop_malformed("undecodable line")
+            return None
+        return self.ingest(event)
 
     # Callable so it can be handed around as a plain report sink.
     __call__ = ingest
 
 
 class OpenSearchOutputPlugin:
-    """Routes each event to an index chosen by its ``type`` field."""
+    """Routes each event to an index chosen by its ``type`` field.
+
+    When built with a :class:`~repro.resilience.delivery.SequenceDedup`
+    it is idempotent on the shipper's ``(_shipper, _seq)`` envelope:
+    at-least-once redelivery upstream plus dedup here yields an
+    exactly-once archive.  A sequence is recorded as seen only *after*
+    ``store.index`` returns — a write that fails mid-flight stays
+    unrecorded, so its retry is not mistaken for a duplicate.
+    """
 
     def __init__(
         self,
         store: OpenSearchStore,
         index_prefix: str = "pscheduler",
         index_field: str = "type",
+        dedup: Optional[SequenceDedup] = None,
     ) -> None:
         self.store = store
         self.index_prefix = index_prefix
         self.index_field = index_field
+        self.dedup = dedup
         self.documents_written = 0
+        self.duplicates_dropped = 0
+        self._tel_duplicates = None
+        if telemetry.enabled():
+            self._tel_duplicates = telemetry.counter(
+                "repro_archiver_duplicates_total",
+                "redelivered reports dropped by archiver-side sequence "
+                "dedup")
 
     def __call__(self, event: dict) -> None:
+        # Hot path: un-enveloped documents pay only the probe below.
+        if self.dedup is not None and "_seq" in event:
+            return self._write_deduped(event)
         kind = event.get(self.index_field, "unknown")
         self.store.index(f"{self.index_prefix}-{kind}", event)
+        self.documents_written += 1
+
+    def _write_deduped(self, event: dict) -> None:
+        source = event.get("_shipper", "?")
+        seq = event["_seq"]
+        if self.dedup.is_duplicate(source, seq):
+            self.duplicates_dropped += 1
+            if self._tel_duplicates is not None:
+                self._tel_duplicates.inc()
+            return
+        kind = event.get(self.index_field, "unknown")
+        self.store.index(f"{self.index_prefix}-{kind}", event)
+        self.dedup.record(source, seq)
         self.documents_written += 1
 
 

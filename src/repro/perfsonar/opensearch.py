@@ -14,6 +14,9 @@ from typing import Any, Dict, Iterable, List, Optional
 
 import numpy as np
 
+from repro.resilience import faults
+from repro.resilience.faults import ArchiveUnavailable
+
 
 class RetentionPolicy:
     """Short-term/long-term retention, as in the OSG network-monitoring
@@ -68,11 +71,28 @@ class OpenSearchStore:
     def __init__(self) -> None:
         self._indices: Dict[str, List[dict]] = {}
         self._ids = itertools.count(1)
+        # Fault hook: bound at construction.  With no chaos injector
+        # installed the gate is bound *away* entirely — ``self.index``
+        # becomes the direct write body, so the disabled hot path pays
+        # nothing at all.
+        self._faults = faults.injector()
+        if self._faults is None:
+            self.index = self._index_direct
 
     # -- document API ---------------------------------------------------------
 
     def index(self, index: str, document: dict) -> str:
-        """Store a document; returns its assigned ``_id``."""
+        """Store a document; returns its assigned ``_id``.
+
+        Raises :class:`~repro.resilience.faults.ArchiveUnavailable`
+        while an injected archiver outage is active — modelling the
+        OpenSearch node being down/restarting, the failure the
+        shipper's retry/spool machinery exists to ride out."""
+        if self._faults is not None and self._faults.archiver_down():
+            raise ArchiveUnavailable(f"archive refused write to {index!r}")
+        return self._index_direct(index, document)
+
+    def _index_direct(self, index: str, document: dict) -> str:
         doc_id = str(next(self._ids))
         stored = dict(document)
         stored["_id"] = doc_id

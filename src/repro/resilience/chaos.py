@@ -1,0 +1,379 @@
+"""The chaos harness: one seeded workload + one fault schedule.
+
+A :class:`ChaosSpec` pairs a validation :class:`~repro.validation.
+scenarios.ScenarioSpec` (the traffic) with a :class:`~repro.resilience.
+schedule.FaultSchedule` (the failures) and the delivery knobs under
+test.  :func:`run_chaos` installs the injector, assembles the full
+report path — control plane → :class:`~repro.resilience.delivery.
+ResilientShipper` → faulty transport → Logstash TCP input → OpenSearch
+store — runs the workload, drains the spool, and settles the books:
+
+- **no acked-report loss**: every sequence the shipper acknowledged is
+  in the archive;
+- **exactly-once archive**: no sequence appears twice after dedup;
+- **no silent loss**: unacknowledged reports are either still spooled
+  (counted) or were counted as dead-letter evictions — nothing vanishes;
+- **measurements stay honest**: the differential checker re-validates
+  the run against the ground-truth oracle, faults and all.
+
+Everything is deterministic: same spec (or same ``--schedule`` +
+``--seed``) ⇒ byte-identical archive, digest and all.
+
+This module deliberately lives outside ``repro.resilience``'s
+``__init__`` exports: it imports the experiment/validation stack, which
+itself imports :mod:`repro.resilience.faults` — keeping it lazy keeps
+the package import-cycle-free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.netsim.units import seconds
+from repro.perfsonar.archiver import Archiver
+from repro.resilience.breaker import (
+    BreakerState,
+    CircuitBreaker,
+    DegradationPolicy,
+)
+from repro.resilience.delivery import (
+    DeliveryConfig,
+    FaultyTransport,
+    ResilientShipper,
+)
+from repro.resilience.faults import FaultInjector, install, uninstall
+from repro.resilience.schedule import FaultSchedule, bundled_schedules
+from repro.resilience.watchdog import ExtractionWatchdog
+from repro.validation.scenarios import FlowSpec, ScenarioSpec
+
+log = logging.getLogger("repro.resilience.chaos")
+
+CHAOS_SCHEMA = "repro-chaos-v1"
+
+#: Drain-loop step: how often the settle loop kicks the spool.
+_DRAIN_STEP_S = 0.25
+
+
+@dataclass
+class ChaosSpec:
+    """Everything needed to reproduce one chaos run."""
+
+    scenario: ScenarioSpec
+    schedule: FaultSchedule
+    drain_s: float = 4.0
+    spool_limit: int = 512
+    dead_letter_limit: int = 256
+    failure_threshold: int = 3
+    open_interval_ms: float = 300.0
+    degraded_interval_scale: float = 4.0
+
+    @classmethod
+    def from_seed(cls, seed: int) -> "ChaosSpec":
+        """Derive workload and fault schedule from one integer (the
+        CI fuzz entry point)."""
+        scenario = ScenarioSpec.from_seed(seed)
+        return cls(scenario=scenario,
+                   schedule=FaultSchedule.from_seed(
+                       seed, duration_s=scenario.duration_s))
+
+    def delivery_config(self) -> DeliveryConfig:
+        return DeliveryConfig(spool_limit=self.spool_limit,
+                              dead_letter_limit=self.dead_letter_limit)
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        return {
+            "schema": CHAOS_SCHEMA,
+            "scenario": self.scenario.to_jsonable(),
+            "schedule": self.schedule.to_jsonable(),
+            "drain_s": self.drain_s,
+            "spool_limit": self.spool_limit,
+            "dead_letter_limit": self.dead_letter_limit,
+            "failure_threshold": self.failure_threshold,
+            "open_interval_ms": self.open_interval_ms,
+            "degraded_interval_scale": self.degraded_interval_scale,
+        }
+
+    @classmethod
+    def from_jsonable(cls, doc: dict) -> "ChaosSpec":
+        doc = dict(doc)
+        schema = doc.pop("schema", CHAOS_SCHEMA)
+        if schema != CHAOS_SCHEMA:
+            raise ValueError(f"unknown chaos schema {schema!r}")
+        doc["scenario"] = ScenarioSpec.from_jsonable(doc["scenario"])
+        doc["schedule"] = FaultSchedule.from_jsonable(doc["schedule"])
+        return cls(**doc)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_jsonable(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ChaosSpec":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_jsonable(json.load(fh))
+
+
+def _small_workload(seed: int) -> ScenarioSpec:
+    """A fixed two-flow workload for the bundled schedules: long enough
+    to cover every bundled fault window, short enough for tests."""
+    spec = ScenarioSpec(seed=seed, bottleneck_mbps=20.0, duration_s=5.0)
+    spec.flows.append(FlowSpec(dst_index=0, start_s=0.1, duration_s=4.5))
+    spec.flows.append(FlowSpec(dst_index=1, start_s=0.4, duration_s=4.0))
+    return spec
+
+
+def bundled_chaos(seed: int = 7) -> Dict[str, ChaosSpec]:
+    """The named bundled schedules, each paired with the fixed small
+    workload — what ``repro-experiments chaos --schedule <name>`` runs."""
+    return {
+        name: ChaosSpec(scenario=_small_workload(seed),
+                        schedule=sched.clone(seed=seed))
+        for name, sched in bundled_schedules().items()
+    }
+
+
+@dataclass
+class ChaosResult:
+    """The settled books of one chaos run."""
+
+    spec: ChaosSpec
+    shipped: int = 0
+    acked: int = 0
+    archived_unique: int = 0
+    archived_duplicate_seqs: List[int] = field(default_factory=list)
+    missing_acked_seqs: List[int] = field(default_factory=list)
+    still_pending: int = 0
+    dead_letter_evictions: int = 0
+    duplicates_dropped: int = 0
+    malformed_dropped: int = 0
+    shipper_stats: dict = field(default_factory=dict)
+    injections: Dict[str, int] = field(default_factory=dict)
+    breaker_transitions: List[tuple] = field(default_factory=list)
+    breaker_summary: str = ""
+    degrade_events: int = 0
+    restore_events: int = 0
+    watchdog_stalls: int = 0
+    ticks_deferred: int = 0
+    catchup_ticks: int = 0
+    reports_suppressed: int = 0
+    oracle_passed: bool = True
+    oracle_failures: List[str] = field(default_factory=list)
+    oracle_checks: int = 0
+    archive_digest: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return (not self.missing_acked_seqs
+                and not self.archived_duplicate_seqs
+                and self.dead_letter_evictions == 0
+                and self.still_pending == 0
+                and self.oracle_passed)
+
+    def failures(self) -> List[str]:
+        out: List[str] = []
+        if self.missing_acked_seqs:
+            out.append(f"{len(self.missing_acked_seqs)} acked reports "
+                       f"missing from the archive "
+                       f"(first: {self.missing_acked_seqs[:5]})")
+        if self.archived_duplicate_seqs:
+            out.append(f"{len(self.archived_duplicate_seqs)} sequences "
+                       f"archived more than once "
+                       f"(first: {self.archived_duplicate_seqs[:5]})")
+        if self.dead_letter_evictions:
+            out.append(f"{self.dead_letter_evictions} reports lost to "
+                       f"dead-letter eviction")
+        if self.still_pending:
+            out.append(f"{self.still_pending} reports still spooled after "
+                       f"the drain window")
+        if not self.oracle_passed:
+            out.append(f"oracle: {len(self.oracle_failures)} differential "
+                       f"checks failed")
+        return out
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"chaos [{verdict}] seed={self.spec.schedule.seed} "
+            f"faults={self.spec.schedule!s}",
+            f"  delivery: shipped={self.shipped} acked={self.acked} "
+            f"archived={self.archived_unique} "
+            f"dedup-dropped={self.duplicates_dropped} "
+            f"retries={self.shipper_stats.get('retries', 0)} "
+            f"spool-peak={self.shipper_stats.get('spool_high_watermark', 0)}",
+            f"  faults injected: "
+            + (", ".join(f"{k}={v}" for k, v in sorted(self.injections.items()))
+               or "none"),
+            f"  {self.breaker_summary}; degrade/restore="
+            f"{self.degrade_events}/{self.restore_events}; "
+            f"suppressed={self.reports_suppressed}",
+            f"  cp: deferred={self.ticks_deferred} catchup={self.catchup_ticks} "
+            f"watchdog-stalls={self.watchdog_stalls}",
+            f"  oracle: {self.oracle_checks} checks, "
+            f"{len(self.oracle_failures)} failed",
+            f"  archive sha256={self.archive_digest[:16]}…",
+        ]
+        for failure in self.failures():
+            lines.append(f"  FAIL: {failure}")
+        return "\n".join(lines)
+
+    def to_jsonable(self) -> dict:
+        return {
+            "schema": CHAOS_SCHEMA,
+            "passed": self.passed,
+            "failures": self.failures(),
+            "spec": self.spec.to_jsonable(),
+            "shipped": self.shipped,
+            "acked": self.acked,
+            "archived_unique": self.archived_unique,
+            "archived_duplicate_seqs": self.archived_duplicate_seqs,
+            "missing_acked_seqs": self.missing_acked_seqs,
+            "still_pending": self.still_pending,
+            "dead_letter_evictions": self.dead_letter_evictions,
+            "duplicates_dropped": self.duplicates_dropped,
+            "malformed_dropped": self.malformed_dropped,
+            "shipper": self.shipper_stats,
+            "injections": self.injections,
+            "breaker_transitions": [
+                [t, old.value, new.value]
+                for t, old, new in self.breaker_transitions],
+            "degrade_events": self.degrade_events,
+            "restore_events": self.restore_events,
+            "watchdog_stalls": self.watchdog_stalls,
+            "ticks_deferred": self.ticks_deferred,
+            "catchup_ticks": self.catchup_ticks,
+            "reports_suppressed": self.reports_suppressed,
+            "oracle_passed": self.oracle_passed,
+            "oracle_failures": self.oracle_failures,
+            "oracle_checks": self.oracle_checks,
+            "archive_digest": self.archive_digest,
+        }
+
+
+def _archive_digest(store) -> str:
+    """Canonical sha256 over every archived document (sorted keys,
+    sorted indices) — the byte-reproducibility witness."""
+    h = hashlib.sha256()
+    for index in store.indices:
+        for doc in store.search(index):
+            h.update(json.dumps(doc, sort_keys=True).encode("utf-8"))
+    return h.hexdigest()
+
+
+def run_chaos(spec: ChaosSpec) -> ChaosResult:
+    """Run one chaos scenario end to end and settle the books."""
+    injector = install(FaultInjector(spec.schedule))
+    try:
+        run = spec.scenario.build()
+        sim = run.scenario.sim
+        injector.bind_clock(lambda: sim.now)
+
+        # The delivery path under test, assembled back to front.
+        archiver = Archiver()
+        breaker = CircuitBreaker(
+            failure_threshold=spec.failure_threshold,
+            open_interval_ns=int(spec.open_interval_ms * 1e6))
+        transport = FaultyTransport(archiver.sink)
+        shipper = ResilientShipper(
+            sim, transport, config=spec.delivery_config(), breaker=breaker,
+            seed=spec.schedule.seed)
+        cp = run.scenario.control_plane
+        cp.report_sink = shipper
+        policy = DegradationPolicy(
+            breaker, cp, interval_scale=spec.degraded_interval_scale)
+        watchdog = ExtractionWatchdog(sim, cp)
+
+        run.run()
+
+        # Fault windows are over; let the spool, breaker probes and
+        # dead-letter replay settle.
+        now_s = max(spec.scenario.end_s, spec.schedule.end_s)
+        deadline_s = now_s + spec.drain_s
+        while now_s < deadline_s:
+            now_s = min(now_s + _DRAIN_STEP_S, deadline_s)
+            sim.run_until(seconds(now_s))
+            shipper.redeliver_dead_letters()
+            shipper.kick()
+            if shipper.pending == 0 and not shipper.dead_letters:
+                break
+        cp.stop()
+        watchdog.cancel()
+        shipper.redeliver_dead_letters()
+        shipper.kick()
+
+        # -- settle the books -------------------------------------------------
+        archived: List[int] = []
+        for index in archiver.store.indices:
+            for doc in archiver.store.search(index):
+                if "_seq" in doc:
+                    archived.append(doc["_seq"])
+        archived_set = set(archived)
+        duplicate_seqs = sorted(
+            {s for s in archived_set if archived.count(s) > 1})
+        missing = sorted(shipper.acked_seqs - archived_set)
+
+        oracle_report = run.check()
+
+        result = ChaosResult(
+            spec=spec,
+            shipped=shipper.shipped_total,
+            acked=shipper.acked_total,
+            archived_unique=len(archived_set),
+            archived_duplicate_seqs=duplicate_seqs,
+            missing_acked_seqs=missing,
+            still_pending=shipper.pending + len(shipper.dead_letters),
+            dead_letter_evictions=shipper.dead_letter_evictions,
+            duplicates_dropped=archiver.output.duplicates_dropped,
+            malformed_dropped=archiver.tcp_input.malformed,
+            shipper_stats=shipper.stats(),
+            injections=dict(injector.injections),
+            breaker_transitions=list(breaker.transitions),
+            breaker_summary=breaker.summary(),
+            degrade_events=policy.degrade_events,
+            restore_events=policy.restore_events,
+            watchdog_stalls=watchdog.total_stalls,
+            ticks_deferred=sum(cp.ticks_deferred.values()),
+            catchup_ticks=sum(cp.catchup_ticks.values()),
+            reports_suppressed=cp.reports_suppressed,
+            oracle_passed=oracle_report.passed,
+            oracle_failures=[str(f) for f in oracle_report.failures],
+            oracle_checks=len(oracle_report.results),
+            archive_digest=_archive_digest(archiver.store),
+        )
+        log.info("chaos run seed=%d: %s", spec.schedule.seed,
+                 "PASS" if result.passed else "FAIL")
+        return result
+    finally:
+        uninstall()
+
+
+def write_artifact(result: ChaosResult, path: str) -> None:
+    """The failing-run artifact CI uploads: spec + settled books, enough
+    to replay with ``repro-experiments chaos --schedule <artifact>``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result.to_jsonable(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_spec(path_or_name: str) -> ChaosSpec:
+    """Resolve a ``--schedule`` argument: a bundled schedule name, a
+    ChaosSpec JSON file, a failed-run artifact (replays its spec), or a
+    bare FaultSchedule JSON file (paired with the small workload)."""
+    bundled = bundled_chaos()
+    if path_or_name in bundled:
+        return bundled[path_or_name]
+    with open(path_or_name, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") == CHAOS_SCHEMA and "spec" in doc:
+        return ChaosSpec.from_jsonable(doc["spec"])
+    if doc.get("schema") == CHAOS_SCHEMA and "scenario" in doc:
+        return ChaosSpec.from_jsonable(doc)
+    schedule = FaultSchedule.from_jsonable(doc)
+    return ChaosSpec(scenario=_small_workload(schedule.seed),
+                     schedule=schedule)

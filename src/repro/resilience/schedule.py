@@ -1,0 +1,248 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSchedule` is a list of :class:`FaultWindow` entries —
+each one fault kind active over one ``[start_s, start_s + duration_s)``
+sim-time window, with an optional per-event probability and kind-
+specific parameters.  Schedules are JSON-round-trippable (schema
+``repro-chaos-v1``) and derivable from a single integer seed, the same
+way :class:`~repro.validation.scenarios.ScenarioSpec` derives fuzz
+scenarios, so every chaos run is byte-reproducible from
+``--schedule`` + ``--seed`` alone.
+
+Fault taxonomy (docs/robustness.md):
+
+=====================  ========================================================
+kind                   effect
+=====================  ========================================================
+``archiver_outage``    :meth:`OpenSearchStore.index` raises
+                       :class:`~repro.resilience.faults.ArchiveUnavailable`
+``logstash_stall``     the Logstash TCP input refuses ingest
+                       (:class:`~repro.resilience.faults.BackpressureError`)
+``tcp_disconnect``     every delivery attempt fails with
+                       :class:`~repro.resilience.faults.ConnectionLostError`
+``report_drop``        a report is lost in transit, never acknowledged
+                       (:class:`~repro.resilience.faults.DeliveryTimeout`)
+``report_duplicate``   a report is delivered twice (dedup must collapse it)
+``report_reorder``     a report is deferred ``delay_ms`` and arrives out of
+                       order (:class:`~repro.resilience.faults.DeferredDelivery`)
+``cp_stall``           the control plane's extraction tick for ``metric``
+                       (or all metrics) is deferred for the window
+``clock_skew``         report timestamps are offset by ``offset_ms``
+=====================  ========================================================
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional
+
+SCHEDULE_SCHEMA = "repro-chaos-v1"
+
+FAULT_KINDS = (
+    "archiver_outage",
+    "logstash_stall",
+    "tcp_disconnect",
+    "report_drop",
+    "report_duplicate",
+    "report_reorder",
+    "cp_stall",
+    "clock_skew",
+)
+
+#: Transport-level kinds decided per delivery attempt (the rest gate by
+#: time window alone).
+TRANSPORT_KINDS = ("tcp_disconnect", "report_drop", "report_duplicate",
+                   "report_reorder")
+
+NS_PER_S = 1_000_000_000
+
+
+@dataclass
+class FaultWindow:
+    """One fault kind active over one sim-time window."""
+
+    kind: str
+    start_s: float
+    duration_s: float
+    #: Per-event probability for transport kinds; window kinds ignore it.
+    probability: float = 1.0
+    #: ``cp_stall`` only: restrict to one metric class (``throughput``,
+    #: ``packet_loss``, ``rtt``, ``queue_occupancy``); None stalls all.
+    metric: Optional[str] = None
+    #: ``report_reorder`` only: how long a deferred report is held.
+    delay_ms: float = 50.0
+    #: ``clock_skew`` only: timestamp offset while the window is active.
+    offset_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"expected one of {FAULT_KINDS}")
+        if self.duration_s <= 0:
+            raise ValueError(f"{self.kind}: duration_s must be positive")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(f"{self.kind}: probability must be in (0, 1]")
+
+    @property
+    def start_ns(self) -> int:
+        return int(self.start_s * NS_PER_S)
+
+    @property
+    def end_ns(self) -> int:
+        return int((self.start_s + self.duration_s) * NS_PER_S)
+
+    def active(self, now_ns: int) -> bool:
+        return self.start_ns <= now_ns < self.end_ns
+
+    def __str__(self) -> str:
+        extra = ""
+        if self.kind in TRANSPORT_KINDS and self.probability < 1.0:
+            extra = f" p={self.probability:g}"
+        if self.kind == "cp_stall" and self.metric:
+            extra = f" metric={self.metric}"
+        if self.kind == "report_reorder":
+            extra += f" delay={self.delay_ms:g}ms"
+        if self.kind == "clock_skew":
+            extra += f" offset={self.offset_ms:g}ms"
+        return (f"{self.kind}[{self.start_s:g}s"
+                f"+{self.duration_s:g}s{extra}]")
+
+
+@dataclass
+class FaultSchedule:
+    """Everything the injector needs: seeded windows, replayable JSON."""
+
+    seed: int = 0
+    windows: List[FaultWindow] = field(default_factory=list)
+
+    # -- queries -------------------------------------------------------------
+
+    def active(self, kind: str, now_ns: int) -> List[FaultWindow]:
+        return [w for w in self.windows if w.kind == kind and w.active(now_ns)]
+
+    def has(self, kind: str) -> bool:
+        return any(w.kind == kind for w in self.windows)
+
+    @property
+    def end_s(self) -> float:
+        """When the last window closes (0.0 for an empty schedule)."""
+        return max((w.start_s + w.duration_s for w in self.windows),
+                   default=0.0)
+
+    # -- derivation ----------------------------------------------------------
+
+    @classmethod
+    def from_seed(cls, seed: int, duration_s: float = 8.0) -> "FaultSchedule":
+        """Derive a randomized schedule from one integer, every window
+        closing before ``0.85 * duration_s`` so the post-run drain always
+        sees a healthy path."""
+        rng = random.Random(f"chaos-schedule:{seed}")
+        horizon = duration_s * 0.85
+        schedule = cls(seed=seed)
+
+        def window(kind: str, min_s: float, max_s: float, **kw) -> None:
+            dur = round(rng.uniform(min_s, max_s), 3)
+            start = round(rng.uniform(0.5, max(0.6, horizon - dur)), 3)
+            dur = round(min(dur, horizon - start), 3)
+            if dur > 0:
+                schedule.windows.append(FaultWindow(kind, start, dur, **kw))
+
+        window("archiver_outage", 0.5, 1.8)
+        if rng.random() < 0.6:
+            window("logstash_stall", 0.3, 1.2)
+        if rng.random() < 0.5:
+            window("tcp_disconnect", 0.2, 0.6)
+        if rng.random() < 0.7:
+            window("report_drop", 1.0, 3.0,
+                   probability=round(rng.uniform(0.05, 0.3), 3))
+        if rng.random() < 0.7:
+            window("report_duplicate", 1.0, 3.0,
+                   probability=round(rng.uniform(0.05, 0.3), 3))
+        if rng.random() < 0.5:
+            window("report_reorder", 1.0, 3.0,
+                   probability=round(rng.uniform(0.05, 0.2), 3),
+                   delay_ms=round(rng.uniform(20.0, 200.0), 1))
+        if rng.random() < 0.5:
+            window("cp_stall", 0.4, 1.0,
+                   metric=rng.choice(["throughput", "packet_loss", None]))
+        if rng.random() < 0.4:
+            window("clock_skew", 1.0, 3.0,
+                   offset_ms=round(rng.uniform(-500.0, 500.0), 1))
+        return schedule
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        return {
+            "schema": SCHEDULE_SCHEMA,
+            "seed": self.seed,
+            "faults": [asdict(w) for w in self.windows],
+        }
+
+    @classmethod
+    def from_jsonable(cls, doc: dict) -> "FaultSchedule":
+        schema = doc.get("schema", SCHEDULE_SCHEMA)
+        if schema != SCHEDULE_SCHEMA:
+            raise ValueError(f"unknown fault-schedule schema {schema!r}")
+        return cls(
+            seed=int(doc.get("seed", 0)),
+            windows=[FaultWindow(**w) for w in doc.get("faults", [])],
+        )
+
+    @classmethod
+    def load(cls, path) -> "FaultSchedule":
+        return cls.from_jsonable(json.loads(Path(path).read_text()))
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_jsonable(), indent=2,
+                                   sort_keys=True))
+        return path
+
+    def clone(self, **changes) -> "FaultSchedule":
+        base = FaultSchedule(seed=self.seed,
+                             windows=[replace(w) for w in self.windows])
+        return replace(base, **changes) if changes else base
+
+    def __str__(self) -> str:
+        if not self.windows:
+            return "no faults"
+        return ", ".join(str(w) for w in sorted(
+            self.windows, key=lambda w: (w.start_s, w.kind)))
+
+
+def bundled_schedules() -> Dict[str, FaultSchedule]:
+    """The named fault schedules the chaos suite ships with.  Each pairs
+    with the default chaos workload (~5 s, two flows); every window
+    closes before the drain trailer so acknowledged reports always have
+    a healthy path to land on."""
+    return {
+        "archiver-outage": FaultSchedule(seed=101, windows=[
+            FaultWindow("archiver_outage", 1.5, 1.5),
+        ]),
+        "slow-drain": FaultSchedule(seed=102, windows=[
+            FaultWindow("logstash_stall", 1.0, 1.0),
+            FaultWindow("report_reorder", 2.2, 1.5,
+                        probability=0.25, delay_ms=120.0),
+        ]),
+        "lossy-transport": FaultSchedule(seed=103, windows=[
+            FaultWindow("tcp_disconnect", 1.2, 0.4),
+            FaultWindow("report_drop", 1.8, 1.6, probability=0.25),
+            FaultWindow("report_duplicate", 1.8, 2.0, probability=0.25),
+        ]),
+        "cp-stall-skew": FaultSchedule(seed=104, windows=[
+            FaultWindow("cp_stall", 1.5, 1.2, metric="throughput"),
+            FaultWindow("clock_skew", 1.0, 2.5, offset_ms=250.0),
+        ]),
+        "kitchen-sink": FaultSchedule(seed=105, windows=[
+            FaultWindow("archiver_outage", 1.2, 1.0),
+            FaultWindow("report_drop", 2.4, 1.2, probability=0.2),
+            FaultWindow("report_duplicate", 2.4, 1.2, probability=0.2),
+            FaultWindow("cp_stall", 3.0, 0.8),
+            FaultWindow("clock_skew", 1.0, 3.0, offset_ms=-150.0),
+        ]),
+    }

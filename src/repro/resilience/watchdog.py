@@ -1,0 +1,97 @@
+"""Extraction-tick watchdog.
+
+A stalled control plane (GC pause, contended runtime API, or the chaos
+harness's ``cp_stall`` fault) stops reading registers on schedule; the
+byte/loss deltas then span more than one configured interval, and naive
+``delta / t_N`` arithmetic would mis-window throughput and loss rates.
+The control plane itself windows every rate over the *actual* elapsed
+time since its last extraction and consolidates missed ticks into one
+bounded catch-up tick (see
+:meth:`~repro.core.control_plane.MonitorControlPlane._tick_throughput`);
+this watchdog is the detector that makes stalls visible: it samples
+``last_extraction_ns`` per metric class on an independent timer and
+counts/logs stall episodes and recoveries, exporting both through the
+telemetry registry so ``watch`` shows a stalled extractor immediately.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Dict, Set
+
+from repro import telemetry
+from repro.core.config import MetricKind
+
+log = logging.getLogger("repro.resilience.watchdog")
+
+
+class ExtractionWatchdog:
+    """Periodic staleness check over the control plane's extraction ticks."""
+
+    def __init__(self, sim, control_plane, check_interval_ns: int = 0,
+                 stall_factor: float = 2.5) -> None:
+        if stall_factor <= 1.0:
+            raise ValueError("stall_factor must exceed 1")
+        self.sim = sim
+        self.control_plane = control_plane
+        self.stall_factor = stall_factor
+        if check_interval_ns <= 0:
+            check_interval_ns = min(
+                control_plane.config.metric(kind).interval_ns()
+                for kind in MetricKind)
+        self.check_interval_ns = check_interval_ns
+        self.stalls: Dict[MetricKind, int] = {k: 0 for k in MetricKind}
+        self.recoveries: Dict[MetricKind, int] = {k: 0 for k in MetricKind}
+        self._stalled_now: Set[MetricKind] = set()
+        self._timer = sim.every(check_interval_ns, self._check)
+        self._tel_stalls = None
+        if telemetry.enabled():
+            self._tel_stalls = telemetry.counter(
+                "repro_watchdog_stalls_total",
+                "extraction-tick stall episodes detected, per metric class",
+                labels=("metric",))
+            stalled_gauge = telemetry.gauge(
+                "repro_watchdog_stalled_metrics",
+                "metric classes currently past their stall deadline")
+            telemetry.registry().add_collector(
+                lambda _reg, w=self, g=stalled_gauge: g.set(
+                    len(w._stalled_now)))
+
+    def _deadline_ns(self, kind: MetricKind) -> int:
+        cp = self.control_plane
+        interval = cp.config.metric(kind).interval_ns(
+            boosted=cp.alerts.metric_boosted(kind))
+        return int(interval * cp.interval_scale * self.stall_factor)
+
+    def _check(self) -> None:
+        cp = self.control_plane
+        now = self.sim.now
+        for kind in MetricKind:
+            last = cp.last_extraction_ns.get(kind)
+            if last is None:
+                continue
+            if now - last > self._deadline_ns(kind):
+                if kind not in self._stalled_now:
+                    self._stalled_now.add(kind)
+                    self.stalls[kind] += 1
+                    if self._tel_stalls is not None:
+                        self._tel_stalls.labels(kind.value).inc()
+                    log.warning(
+                        "extraction stall: %s last ticked %.3fs ago at "
+                        "t=%.3fs", kind.value, (now - last) / 1e9, now / 1e9)
+            elif kind in self._stalled_now:
+                self._stalled_now.discard(kind)
+                self.recoveries[kind] += 1
+                log.info("extraction recovered: %s at t=%.3fs",
+                         kind.value, now / 1e9)
+
+    @property
+    def stalled_metrics(self) -> Set[MetricKind]:
+        return set(self._stalled_now)
+
+    @property
+    def total_stalls(self) -> int:
+        return sum(self.stalls.values())
+
+    def cancel(self) -> None:
+        self._timer.cancel()

@@ -136,7 +136,19 @@ class TelemetryHTTPServer:
         if self._httpd is not None:
             return self._httpd.server_address
         self.closing = False
-        httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        try:
+            httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        except OSError as exc:
+            # EADDRINUSE/EACCES on the requested port: a stale scraper or
+            # another run already holds it.  Fall back to an ephemeral
+            # port rather than failing the whole run over an export-only
+            # endpoint; the chosen port is logged and returned.
+            if self.port == 0:
+                raise
+            log.warning(
+                "could not bind telemetry scrape endpoint to %s:%d (%s); "
+                "retrying on an ephemeral port", self.host, self.port, exc)
+            httpd = ThreadingHTTPServer((self.host, 0), _Handler)
         httpd.daemon_threads = True
         httpd.owner = self  # type: ignore[attr-defined]
         self._httpd = httpd

@@ -168,3 +168,125 @@ def test_throttle_in_pipeline_guards_alert_storm():
         pipe.process(_alert(t))
     assert len(out) == 2
     assert pipe.events_dropped == 18
+
+
+# -- malformed-input hardening (repro_logstash_malformed_total) ----------------
+
+
+def test_ingest_line_parses_valid_json():
+    pipe = LogstashPipeline()
+    got = []
+    pipe.add_output(got.append)
+    tcp = TcpInputPlugin(pipe)
+    assert tcp.ingest_line('{"type": "p4_rtt", "value": 3.0}') is not None
+    assert got[0]["value"] == 3.0
+    assert tcp.malformed == 0
+    assert tcp.messages == 1
+
+
+@pytest.mark.parametrize("line", [
+    '{"type": "p4_rtt", "value"',      # truncated mid-key
+    "",                                 # empty line
+    "not json at all",                  # garbage
+    b"\xff\xfe\x00binary",             # undecodable bytes
+    "[1, 2, 3]",                        # JSON, but not an object
+    '"just a string"',
+])
+def test_ingest_line_drops_malformed_without_raising(line):
+    pipe = LogstashPipeline()
+    got = []
+    pipe.add_output(got.append)
+    tcp = TcpInputPlugin(pipe)
+    assert tcp.ingest_line(line) is None
+    assert tcp.malformed == 1
+    assert tcp.messages == 0
+    assert got == []
+
+
+def test_ingest_rejects_non_dict_events():
+    tcp = TcpInputPlugin(LogstashPipeline())
+    assert tcp.ingest(["a", "list"]) is None
+    assert tcp.malformed == 1
+
+
+def test_malformed_counter_exported_per_pipeline():
+    from repro import telemetry
+
+    telemetry.enable()
+    telemetry.reset()
+    try:
+        tcp = TcpInputPlugin(LogstashPipeline("edge"))
+        tcp.ingest_line("garbage")
+        snap = telemetry.snapshot()
+        by_name = {m["name"]: m for m in snap["metrics"]}
+        series = by_name["repro_logstash_malformed_total"]["series"]
+        assert series[0]["labels"] == {"pipeline": "edge"}
+        assert series[0]["value"] == 1
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+
+
+# -- archiver-side sequence dedup ----------------------------------------------
+
+
+def _enveloped(seq, kind="p4_rtt"):
+    return {"type": kind, "@timestamp": 1.0, "value": 2.0,
+            "_seq": seq, "_shipper": "p4-controlplane"}
+
+
+def test_output_plugin_dedups_redelivered_sequences():
+    from repro.resilience.delivery import SequenceDedup
+
+    store = OpenSearchStore()
+    out = OpenSearchOutputPlugin(store, dedup=SequenceDedup())
+    out(_enveloped(1))
+    out(_enveloped(2))
+    out(_enveloped(1))  # at-least-once redelivery
+    assert store.count("pscheduler-p4_rtt") == 2
+    assert out.documents_written == 2
+    assert out.duplicates_dropped == 1
+
+
+def test_output_plugin_without_envelope_is_unaffected():
+    from repro.resilience.delivery import SequenceDedup
+
+    store = OpenSearchStore()
+    out = OpenSearchOutputPlugin(store, dedup=SequenceDedup())
+    out({"type": "p4_rtt", "value": 1.0})
+    out({"type": "p4_rtt", "value": 1.0})
+    assert store.count("pscheduler-p4_rtt") == 2, \
+        "un-enveloped documents are never deduped"
+
+
+def test_dedup_records_only_after_successful_write():
+    """A write that dies mid-flight must stay unrecorded, or the retry
+    would be mistaken for a duplicate and the report lost forever."""
+    from repro.resilience.delivery import SequenceDedup
+
+    store = OpenSearchStore()
+    out = OpenSearchOutputPlugin(store, dedup=SequenceDedup())
+    original_index = store.index
+    calls = {"n": 0}
+
+    def flaky_index(index, document):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("mid-write crash")
+        return original_index(index, document)
+
+    store.index = flaky_index
+    with pytest.raises(RuntimeError):
+        out(_enveloped(1))
+    out(_enveloped(1))  # the redelivery
+    assert store.count("pscheduler-p4_rtt") == 1
+    assert out.duplicates_dropped == 0
+
+
+def test_archiver_wires_dedup_end_to_end():
+    arch = Archiver()
+    arch.sink(_enveloped(5))
+    arch.sink(_enveloped(5))
+    assert arch.count("p4_rtt") == 1
+    assert arch.output.duplicates_dropped == 1
+    assert arch.dedup.seen_count("p4-controlplane") == 1

@@ -1,0 +1,20 @@
+"""Resilience tests start fault-free and telemetry-clean, and must
+leave the process that way: both the injector and the telemetry flag
+are bound at construction time, so leakage would silently inject
+faults into (or instrument) later tests."""
+
+import pytest
+
+from repro import telemetry
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_resilience():
+    faults.uninstall()
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    faults.uninstall()
+    telemetry.disable()
+    telemetry.reset()

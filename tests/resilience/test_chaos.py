@@ -1,0 +1,158 @@
+"""Chaos acceptance suite: every bundled schedule must settle with zero
+acked-report loss, an exactly-once archive, a green differential oracle,
+and byte-identical replays."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.core.config import MetricKind
+from repro.core.control_plane import MonitorControlPlane
+from repro.netsim.engine import Simulator
+from repro.netsim.units import seconds
+from repro.resilience.breaker import BreakerState
+from repro.resilience.chaos import (
+    ChaosSpec,
+    bundled_chaos,
+    load_spec,
+    run_chaos,
+    write_artifact,
+)
+from repro.resilience.faults import FaultInjector, install
+from repro.resilience.schedule import FaultSchedule, FaultWindow
+
+from tests.core.helpers import FlowScript, small_monitor
+from tests.core.test_control_plane import drive_stream
+
+BUNDLES = sorted(bundled_chaos())
+
+
+@pytest.fixture(scope="module")
+def bundle_results():
+    """Each bundled scenario, run once and shared across assertions."""
+    return {name: run_chaos(spec) for name, spec in bundled_chaos().items()}
+
+
+@pytest.mark.parametrize("name", BUNDLES)
+def test_bundled_schedule_settles_clean(bundle_results, name):
+    result = bundle_results[name]
+    assert result.passed, result.summary()
+    # The invariants, spelled out (not just the rolled-up verdict):
+    assert not result.missing_acked_seqs, "acked reports must be archived"
+    assert not result.archived_duplicate_seqs, "archive must be exactly-once"
+    assert result.dead_letter_evictions == 0
+    assert result.still_pending == 0
+    assert result.oracle_passed, "faults must not corrupt measurements"
+    assert result.shipped == result.acked
+    assert result.injections, f"{name} injected nothing — dead schedule?"
+
+
+def test_archiver_outage_exercises_breaker_and_retry(bundle_results):
+    result = bundle_results["archiver-outage"]
+    assert result.injections.get("archiver_outage", 0) > 0
+    assert result.shipper_stats["retries"] > 0
+    assert result.shipper_stats["spool_high_watermark"] > 1
+    states = {new for _, _, new in result.breaker_transitions}
+    assert BreakerState.OPEN in states, "outage must open the breaker"
+    assert result.breaker_transitions[-1][2] is BreakerState.CLOSED, \
+        "the breaker must close once the archiver recovers"
+    assert result.degrade_events >= 1
+    assert result.restore_events >= 1
+
+
+def test_lossy_transport_needs_dedup(bundle_results):
+    result = bundle_results["lossy-transport"]
+    assert result.injections.get("report_duplicate", 0) > 0
+    assert result.duplicates_dropped > 0, \
+        "duplicates must reach the archiver and be collapsed there"
+    assert result.archived_unique == result.acked
+
+
+def test_cp_stall_defers_then_catches_up(bundle_results):
+    result = bundle_results["cp-stall-skew"]
+    assert result.injections.get("cp_stall", 0) > 0
+    assert result.ticks_deferred > 0
+    assert result.catchup_ticks > 0
+    assert result.injections.get("clock_skew", 0) > 0
+    assert result.shipper_stats["timestamps_skewed"] > 0
+
+
+def test_chaos_is_byte_reproducible():
+    spec = bundled_chaos()["lossy-transport"]
+    a = run_chaos(spec)
+    b = run_chaos(bundled_chaos()["lossy-transport"])
+    assert a.archive_digest == b.archive_digest
+    assert a.to_jsonable() == b.to_jsonable()
+
+
+def test_breaker_transitions_visible_through_telemetry():
+    telemetry.enable()
+    try:
+        result = run_chaos(bundled_chaos()["archiver-outage"])
+        assert result.passed, result.summary()
+        snap = telemetry.snapshot()
+        by_name = {m["name"]: m for m in snap["metrics"]}
+        transitions = by_name["repro_breaker_transitions_total"]
+        total = sum(s["value"] for s in transitions["series"])
+        assert total == len(result.breaker_transitions) > 0
+        assert "repro_faults_injected_total" in by_name
+        assert "repro_delivery_attempts_total" in by_name
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+
+
+def test_spec_json_round_trip(tmp_path):
+    spec = ChaosSpec.from_seed(4)
+    path = tmp_path / "spec.json"
+    spec.save(str(path))
+    loaded = ChaosSpec.load(str(path))
+    assert loaded.to_jsonable() == spec.to_jsonable()
+    with pytest.raises(ValueError, match="schema"):
+        ChaosSpec.from_jsonable({"schema": "bogus"})
+
+
+def test_load_spec_resolves_names_files_and_artifacts(tmp_path, bundle_results):
+    # Bundled name.
+    by_name = load_spec("archiver-outage")
+    assert by_name.schedule.has("archiver_outage")
+    # Bare FaultSchedule file: paired with the small default workload.
+    sched_path = tmp_path / "sched.json"
+    FaultSchedule(seed=3, windows=[
+        FaultWindow("logstash_stall", 1.0, 0.5)]).save(sched_path)
+    from_sched = load_spec(str(sched_path))
+    assert from_sched.schedule.has("logstash_stall")
+    assert from_sched.scenario.flows, "default workload attached"
+    # Failed-run artifact: replays the embedded spec.
+    artifact = tmp_path / "artifact.json"
+    write_artifact(bundle_results["slow-drain"], str(artifact))
+    replay = load_spec(str(artifact))
+    assert replay.to_jsonable() == bundle_results["slow-drain"].spec.to_jsonable()
+
+
+def test_stalled_throughput_tick_windows_over_true_elapsed_time():
+    """A deferred extraction tick must not inflate throughput: the
+    catch-up tick sees ~2 intervals of bytes over ~2 intervals of time."""
+    sim = Simulator()
+    install(FaultInjector(
+        FaultSchedule(seed=1, windows=[
+            FaultWindow("cp_stall", 1.5, 1.2, metric="throughput")]),
+        clock=lambda: sim.now))
+    mon = small_monitor(long_flow_bytes=1000)
+    cp = MonitorControlPlane(sim, mon)
+    cp.start()
+    script = FlowScript(mon)
+    rate = 500_000  # bytes/s
+    drive_stream(sim, script, rate_bytes_per_s=rate, duration_s=4.0)
+    sim.run_until(seconds(4.5))
+    assert sum(cp.ticks_deferred.values()) > 0
+    assert sum(cp.catchup_ticks.values()) > 0
+    series = [v for _, v in cp.series(MetricKind.THROUGHPUT) if v > 0]
+    offered_bps = rate * 8
+    # Without elapsed-time windowing the catch-up sample would read
+    # ~2x the offered rate; with it, every settled sample stays close.
+    for v in series[1:-1]:
+        assert v < 1.5 * offered_bps, (
+            f"sample {v / 1e6:.1f} Mbps vs offered {offered_bps / 1e6:.1f} "
+            f"Mbps — catch-up tick mis-windowed")

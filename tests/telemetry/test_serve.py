@@ -152,6 +152,31 @@ def test_restart_clears_the_closing_flag():
         srv.close()
 
 
+def test_start_falls_back_to_ephemeral_port_when_taken(caplog):
+    """A stale scraper squatting on the requested port must not kill the
+    run: the server warns and rebinds on an ephemeral port."""
+    import logging
+
+    first = TelemetryHTTPServer(registry=_static_registry())
+    first.start()
+    taken = first.port
+    second = TelemetryHTTPServer(registry=_static_registry(), port=taken)
+    try:
+        with caplog.at_level(logging.WARNING, logger="repro.telemetry.serve"):
+            second.start()
+        assert second.port != taken
+        assert second.port != 0, "a real ephemeral port was chosen"
+        assert any("retrying on an ephemeral port" in rec.message
+                   for rec in caplog.records)
+        # Both endpoints serve.
+        for srv in (first, second):
+            status, _ctype, _body = _get(srv.url + "/healthz")
+            assert status == 200
+    finally:
+        first.close()
+        second.close()
+
+
 # -- push mode ----------------------------------------------------------------
 
 
