@@ -25,6 +25,7 @@ from pathlib import Path
 import pytest
 
 _RECORDS = defaultdict(list)
+_PHASES = {}
 
 
 def banner(title: str) -> None:
@@ -32,6 +33,25 @@ def banner(title: str) -> None:
     print("=" * 74)
     print(f"  {title}")
     print("=" * 74)
+
+
+@pytest.fixture
+def record_phases(request):
+    """Attach per-phase wall-time attribution to this test's BENCH
+    entry.  Call with a profiler :class:`PhaseReport` (or a raw
+    ``{phase: {self_ns, cum_ns, events}}`` dict); it lands as the
+    entry's ``phases`` field, which ``benchmarks/trend.py`` compares
+    per phase to localize a regression instead of flagging the whole
+    test."""
+    stem = Path(str(request.node.fspath)).stem
+    test_name = request.node.name
+
+    def recorder(report) -> None:
+        phases = (report.phases_for_bench()
+                  if hasattr(report, "phases_for_bench") else dict(report))
+        _PHASES[(stem, test_name)] = phases
+
+    return recorder
 
 
 @pytest.fixture
@@ -104,6 +124,9 @@ def pytest_sessionfinish(session, exitstatus):
             if extra:
                 entry["mean_s"] = round(extra["mean_s"], 6)
                 entry["ops_per_s"] = round(extra["ops_per_s"], 3)
+            phases = _PHASES.get((stem, entry["test"]))
+            if phases:
+                entry["phases"] = phases
         record = {
             "schema": "repro-bench-v1",
             "module": stem,
@@ -117,3 +140,4 @@ def pytest_sessionfinish(session, exitstatus):
         out = root / f"BENCH_{_bench_key(stem)}.json"
         out.write_text(json.dumps(record, indent=2) + "\n")
     _RECORDS.clear()
+    _PHASES.clear()

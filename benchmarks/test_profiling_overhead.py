@@ -1,0 +1,237 @@
+"""Profiler overhead budgets (docs/profiling.md).
+
+Three operating points:
+
+- **disabled** (the default): construction binds the plain process()
+  body directly as an instance attribute, so the hot path pays zero
+  per-packet guards — within 2 % of an uninstrumented twin
+  (``BarePipeline`` replays the pre-instrumentation process() body
+  sharing parser/stages, so the delta is exactly the dispatch);
+- **phase mode, block detail**: the always-on attribution mode — within
+  10 % of wall time on the substrate end-to-end scenario (one
+  ``perf_counter_ns`` per dispatched event in the engine loop plus one
+  ``p4.process`` frame per TAP copy);
+- **stage detail**: timed for the BENCH_profiling_overhead record, no
+  budget (diagnosis mode, what ``repro-experiments profile`` runs).
+"""
+
+import gc
+import time
+
+from repro import telemetry
+from repro.core.flow_table import PORT_INGRESS_TAP
+from repro.netsim.packet import FiveTuple, make_ack_packet, make_data_packet
+from repro.p4.pipeline import P4Pipeline, StandardMetadata
+from repro.telemetry import profiling, provenance
+
+from tests.core.helpers import small_monitor
+
+PACKETS = 400
+ROUNDS = 9
+E2E_ROUNDS = 6
+DISABLED_BUDGET = 1.02
+PHASE_BUDGET = 1.10
+
+
+class BarePipeline(P4Pipeline):
+    """The process() body exactly as it was before instrumentation."""
+
+    def process(self, packet, meta):
+        self.packets_in += 1
+        hdr = self.parser.parse(packet)
+        if hdr is None:
+            self.packets_dropped += 1
+            return None
+        for stage in self.ingress:
+            stage.process(hdr, meta)
+            if meta.drop:
+                self.packets_dropped += 1
+                return None
+        for stage in self.egress:
+            stage.process(hdr, meta)
+            if meta.drop:
+                self.packets_dropped += 1
+                return None
+        return hdr
+
+
+def _packet_stream(n):
+    ft = FiveTuple(0x0A00000A, 0x0A01000A, 40000, 5201)
+    stream = []
+    seq = 1
+    for i in range(n):
+        stream.append(make_data_packet(ft, seq=seq, payload_len=1000, ip_id=i))
+        stream.append(make_ack_packet(ft.reversed(), ack=seq + 1000))
+        seq += 1000
+    return stream
+
+
+def _drive(pipeline, stream):
+    t = 1000
+    for pkt in stream:
+        meta = StandardMetadata(ingress_port=PORT_INGRESS_TAP,
+                                ingress_timestamp_ns=t)
+        pipeline.process(pkt, meta)
+        t += 500_000
+
+
+def _interleaved_best_ratio(guarded, bare, stream):
+    """Best-of-ROUNDS wall time for each pipeline, rounds interleaved
+    and order-alternated (cancels thermal/allocator drift in either
+    direction) with the GC held off the timings."""
+    _drive(guarded, stream)  # untimed warmup: register state converges
+    _drive(bare, stream)
+    guarded_best = bare_best = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for i in range(ROUNDS):
+            pair = ((guarded, bare) if i % 2 == 0 else (bare, guarded))
+            times = []
+            for pipeline in pair:
+                t0 = time.perf_counter_ns()
+                _drive(pipeline, stream)
+                times.append(time.perf_counter_ns() - t0)
+            g_t, b_t = (times if i % 2 == 0 else reversed(times))
+            guarded_best = min(guarded_best, g_t)
+            bare_best = min(bare_best, b_t)
+            gc.collect()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return guarded_best / bare_best
+
+
+def _bare_twin_of(pipeline):
+    bare = BarePipeline("bare")
+    bare.parser = pipeline.parser
+    bare.ingress = pipeline.ingress
+    bare.egress = pipeline.egress
+    return bare
+
+
+def _measure_disabled_ratio():
+    """Profiling off: guarded and bare share the same parser/stages, so
+    the delta is exactly the direct-body instance-attribute dispatch."""
+    assert not profiling.active() and not provenance.active()
+    assert not telemetry.enabled()
+    stream = _packet_stream(PACKETS)
+    guarded = small_monitor().pipeline
+    assert guarded._prof is None  # profiling off → fast path
+    return _interleaved_best_ratio(guarded, _bare_twin_of(guarded), stream)
+
+
+def _run_substrate_scenario():
+    """The substrate end-to-end workload (test_substrate_perf.py's
+    shape): a monitored two-flow TCP scenario over the Fig. 8 topology."""
+    from repro.experiments.common import Scenario, ScenarioConfig
+
+    scenario = Scenario(
+        ScenarioConfig(bottleneck_mbps=25.0, rtts_ms=(20.0, 30.0, 40.0),
+                       reference_rtt_ms=40.0),
+        with_perfsonar=False,
+    )
+    scenario.add_flow(0, duration_s=2.0)
+    scenario.add_flow(1, duration_s=2.0)
+    scenario.run(3.0)
+    return scenario
+
+
+def _timed_dark_run():
+    gc.collect()
+    t0 = time.perf_counter_ns()
+    _run_substrate_scenario()
+    return time.perf_counter_ns() - t0
+
+
+def _timed_phase_run():
+    prof = profiling.enable(mode="phase", detail="block")
+    try:
+        gc.collect()
+        t0 = time.perf_counter_ns()
+        _run_substrate_scenario()
+        dt = time.perf_counter_ns() - t0
+        attributed = prof.report().total_self_ns
+    finally:
+        profiling.disable()
+    return dt, attributed
+
+
+def _measure_phase_ratio():
+    """Phase mode (block detail) vs fully-off, end to end: the scenario
+    built under ``enable(mode="phase")`` routes the engine through the
+    profiled dispatch loop and the pipeline through its profiled twin;
+    the dark scenario pays nothing (direct-body binding).  The two
+    configurations alternate order each round so monotonic drift
+    (thermal ramp, allocator growth in a long pytest process) cancels
+    instead of always penalizing the one measured second."""
+    assert not profiling.active() and not telemetry.enabled()
+    _run_substrate_scenario()  # warmup (allocator, code paths)
+    dark_best = phase_best = float("inf")
+    attributed = 0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for i in range(E2E_ROUNDS):
+            if i % 2 == 0:
+                dark_best = min(dark_best, _timed_dark_run())
+                dt, attributed = _timed_phase_run()
+                phase_best = min(phase_best, dt)
+            else:
+                dt, attributed = _timed_phase_run()
+                phase_best = min(phase_best, dt)
+                dark_best = min(dark_best, _timed_dark_run())
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    assert attributed > 0  # attribution actually happened
+    return phase_best / dark_best
+
+
+def _assert_within(measure, budget, label):
+    ratios = []
+    for _ in range(3):  # retry: pass as soon as one clean attempt fits
+        ratio = measure()
+        ratios.append(ratio)
+        if ratio <= budget:
+            break
+    assert min(ratios) <= budget, (
+        f"{label} hot path is {min(ratios):.3f}x baseline "
+        f"(budget {budget}x); attempts: "
+        + ", ".join(f"{r:.3f}" for r in ratios)
+    )
+
+
+def test_disabled_profiling_overhead_within_budget():
+    _assert_within(_measure_disabled_ratio, DISABLED_BUDGET,
+                   "disabled-profiling")
+
+
+def test_phase_mode_overhead_within_budget():
+    _assert_within(_measure_phase_ratio, PHASE_BUDGET, "phase-mode")
+
+
+def test_stage_detail_attribution(benchmark):
+    """Stage-detail sanity + the timed record for
+    BENCH_profiling_overhead: every stage gets its own phase row and the
+    frames balance (depth back to zero)."""
+    prof = profiling.enable(mode="phase", detail="stage")
+    try:
+        mon = small_monitor()
+        stream = _packet_stream(PACKETS)
+
+        def run():
+            _drive(mon.pipeline, stream)
+            return prof.report()
+
+        report = benchmark(run)
+        assert prof.depth() == 0
+        phases = {r.phase for r in report.rows}
+        assert "p4.process" in phases and "p4.parser" in phases
+        assert any(p.startswith("p4.stage/") for p in phases)
+        # Nested stage/parser time is inside p4.process cumulative time.
+        proc = report.row("p4.process")
+        assert proc.cum_ns >= proc.self_ns
+        assert report.sources.get("p4.register_ops", 0) > 0
+    finally:
+        profiling.disable()

@@ -93,3 +93,35 @@ def test_end_to_end_simulation_rate(benchmark):
 
     events = benchmark(run)
     assert events > 10_000
+
+
+def test_phase_attribution_record(once, record_phases):
+    """The end-to-end scenario under phase profiling: records per-phase
+    self/cum time into BENCH_substrate.json so the trend gate can
+    localize a future regression to engine dispatch, the P4 pipeline,
+    the control plane or the archiver path (docs/profiling.md)."""
+    from repro.experiments.common import Scenario, ScenarioConfig
+    from repro.telemetry import profiling
+
+    def run():
+        prof = profiling.enable(mode="phase")
+        try:
+            scenario = Scenario(
+                ScenarioConfig(bottleneck_mbps=25.0, rtts_ms=(20.0, 30.0, 40.0),
+                               reference_rtt_ms=40.0),
+                with_perfsonar=True,
+            )
+            scenario.add_flow(0, duration_s=3.0)
+            scenario.add_flow(1, duration_s=3.0)
+            with prof.running():
+                scenario.run(4.0)
+            return prof.report()
+        finally:
+            profiling.disable()
+
+    report = once(run)
+    # The dispatch loop must have attributed essentially the whole run.
+    assert report.total_self_ns > 0.5 * report.wall_ns
+    assert any(r.phase.startswith("engine/") for r in report.rows)
+    assert report.row("p4.process") is not None
+    record_phases(report)

@@ -88,23 +88,31 @@ def _measure_ratio():
     bare.ingress = guarded.ingress
     bare.egress = guarded.egress
 
-    # Interleave rounds (cancels thermal/frequency drift), take best-of
-    # (discards scheduler noise), and keep the GC out of the timings.
-    # Each round re-drives the same stream; register state converges
-    # after the first (untimed) warmup round.
+    # Interleave rounds (cancels thermal/frequency drift), alternate
+    # which pipeline goes first (cancels monotonic drift in either
+    # direction), take best-of (discards scheduler noise), and keep the
+    # GC out of the timings.  Each round re-drives the same stream;
+    # register state converges after the first (untimed) warmup round.
     _drive(guarded, stream)
     _drive(bare, stream)
     guarded_best = bare_best = float("inf")
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
-        for _ in range(ROUNDS):
+        for i in range(ROUNDS):
+            first, second = (guarded, bare) if i % 2 == 0 else (bare, guarded)
             t0 = time.perf_counter_ns()
-            _drive(guarded, stream)
-            guarded_best = min(guarded_best, time.perf_counter_ns() - t0)
+            _drive(first, stream)
+            dt_first = time.perf_counter_ns() - t0
             t0 = time.perf_counter_ns()
-            _drive(bare, stream)
-            bare_best = min(bare_best, time.perf_counter_ns() - t0)
+            _drive(second, stream)
+            dt_second = time.perf_counter_ns() - t0
+            if first is guarded:
+                guarded_best = min(guarded_best, dt_first)
+                bare_best = min(bare_best, dt_second)
+            else:
+                bare_best = min(bare_best, dt_first)
+                guarded_best = min(guarded_best, dt_second)
             gc.collect()
     finally:
         if gc_was_enabled:

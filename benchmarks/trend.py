@@ -18,6 +18,12 @@ Tests absent from the baseline (new benchmarks) and records with no
 committed baseline pass with a note; baselines shorter than
 ``--min-baseline`` seconds are skipped as noise-dominated.
 
+Tests whose entries carry per-phase attribution (the ``record_phases``
+conftest fixture, fed from a profiler PhaseReport — docs/profiling.md)
+additionally get per-phase rows in the report, and a wall-time
+regression is localized to the phase whose self time grew the most, so
+the gate names the culprit instead of just flagging the test.
+
 Exit codes: 0 ok, 1 regression, 2 usage/missing current record.
 """
 
@@ -32,6 +38,10 @@ from typing import List, Optional
 
 DEFAULT_BUDGET = 1.30        # fail above +30 % wall time
 DEFAULT_MIN_BASELINE_S = 0.05  # ignore sub-50 ms baselines (scheduler noise)
+# Phase self-times below this are noise for localization purposes —
+# per-phase rows still render, but a regression is never pinned on a
+# phase whose baseline share was under 20 ms.
+DEFAULT_MIN_PHASE_BASELINE_NS = 20_000_000
 
 
 def record_path(root: Path, name: str) -> Path:
@@ -58,6 +68,53 @@ def load_committed(root: Path, name: str, ref: str = "HEAD") -> Optional[dict]:
         return None
 
 
+def compare_phases(current_phases: dict, baseline_phases: Optional[dict],
+                   min_baseline_ns: int = DEFAULT_MIN_PHASE_BASELINE_NS):
+    """Per-phase self-time comparison for one test's ``phases`` payload
+    (written by the ``record_phases`` conftest fixture from a profiler
+    :class:`PhaseReport`).
+
+    Returns ``(rows, localized_to)``: one row per phase (sorted by
+    current self time, descending) with baseline/ratio/delta where the
+    baseline record also carries phases, and the name of the phase a
+    wall-time regression localizes to — the largest positive self-time
+    delta above the phase noise floor — or None.
+    """
+    baseline_phases = baseline_phases or {}
+    rows: List[dict] = []
+    localized = None
+    worst_delta = 0
+    for name in sorted(set(current_phases) | set(baseline_phases)):
+        cur = current_phases.get(name)
+        base = baseline_phases.get(name)
+        row = {"phase": name}
+        if cur is not None:
+            row["self_ns"] = cur["self_ns"]
+            row["events"] = cur.get("events", 0)
+        if base is not None:
+            row["baseline_self_ns"] = base["self_ns"]
+        if cur is None:
+            row["status"] = "gone"
+        elif base is None:
+            row["status"] = "new"
+            delta = cur["self_ns"]
+            row["delta_ns"] = delta
+            if delta >= min_baseline_ns and delta > worst_delta:
+                worst_delta, localized = delta, name
+        else:
+            delta = cur["self_ns"] - base["self_ns"]
+            row["delta_ns"] = delta
+            if base["self_ns"] >= min_baseline_ns:
+                row["ratio"] = round(cur["self_ns"] / base["self_ns"], 3)
+                if delta > worst_delta:
+                    worst_delta, localized = delta, name
+            else:
+                row["status"] = "noise-floor"
+        rows.append(row)
+    rows.sort(key=lambda r: r.get("self_ns", 0), reverse=True)
+    return rows, localized
+
+
 def compare_records(current: dict, baseline: Optional[dict],
                     budget: float = DEFAULT_BUDGET,
                     min_baseline_s: float = DEFAULT_MIN_BASELINE_S) -> dict:
@@ -65,7 +122,9 @@ def compare_records(current: dict, baseline: Optional[dict],
 
     A test regresses when its baseline is above the noise floor and
     ``current > baseline * budget``; the record regresses when any test
-    does, or the total does.
+    does, or the total does.  Tests carrying per-phase attribution get
+    ``phases`` rows, and a REGRESSED test is localized to the phase
+    whose self time grew the most (``localized_to``).
     """
     module = current.get("module", "?")
     if baseline is None:
@@ -98,6 +157,12 @@ def compare_records(current: dict, baseline: Optional[dict],
                 regressed = True
             else:
                 row["status"] = "ok"
+        if entry.get("phases"):
+            phase_rows, localized = compare_phases(
+                entry["phases"], base.get("phases") if base else None)
+            row["phases"] = phase_rows
+            if row.get("status") == "REGRESSED" and localized is not None:
+                row["localized_to"] = localized
         tests.append(row)
 
     # Totals compare only tests present in both records, so adding or
@@ -131,7 +196,22 @@ def render_comparison(name: str, comparison: dict) -> str:
         detail = (f"{row['wall_s']:.3f}s vs {base:.3f}s "
                   f"({row.get('ratio', 0.0):.2f}x)" if base is not None
                   else f"{row['wall_s']:.3f}s")
+        if row.get("localized_to"):
+            detail += f" — localized to {row['localized_to']}"
         lines.append(f"  {row['status']:>11}  {row['test']}: {detail}")
+        for prow in row.get("phases", [])[:6]:
+            cur_s = prow.get("self_ns", 0) / 1e9
+            base_ns = prow.get("baseline_self_ns")
+            pdetail = f"self {cur_s:.3f}s"
+            if base_ns is not None and "ratio" in prow:
+                pdetail += f" vs {base_ns / 1e9:.3f}s ({prow['ratio']:.2f}x)"
+            elif base_ns is not None:
+                pdetail += f" vs {base_ns / 1e9:.3f}s"
+            if prow.get("status"):
+                pdetail += f" [{prow['status']}]"
+            marker = (" ← regression localized here"
+                      if prow["phase"] == row.get("localized_to") else "")
+            lines.append(f"        phase  {prow['phase']}: {pdetail}{marker}")
     total = comparison["total"]
     lines.append(f"  {total['status']:>11}  TOTAL: {total['wall_s']:.3f}s vs "
                  f"{total['baseline_wall_s']:.3f}s")

@@ -16,6 +16,11 @@ Observability (docs/observability.md)::
     repro-experiments fig9 --telemetry --telemetry-format prom \
         --telemetry-out metrics.prom
 
+Performance attribution (docs/profiling.md)::
+
+    repro-experiments profile --mode both --out profile   # PhaseReport
+    repro-experiments fig11 --profile-out fig11-profile   # any experiment
+
 Progress goes through :mod:`logging` (stderr, ``--verbose``/``--quiet``);
 experiment results stay on stdout so pipelines can capture them.
 """
@@ -141,13 +146,19 @@ def _watch(args) -> str:
     clear = "\x1b[H\x1b[2J" if sys.stdout.isatty() else ""
     frame_every = max(1, int(args.refresh * 1e9 / interval_ns))
 
+    def _sim_line() -> str:
+        sim = scenario.sim
+        return (f"scheduler: pending={sim.pending} "
+                f"queue-hwm={sim.queue_hwm} events-run={sim.events_run}")
+
     def frame(t_ns, _records) -> None:
         if sampler.samples_taken % frame_every:
             return
         alerts = scenario.control_plane.alerts.active_alerts
         print(clear + render_watch(sampler.store, top=args.top, now_ns=t_ns,
                                    samples=sampler.samples_taken,
-                                   alerts=alerts), flush=True)
+                                   alerts=alerts, sim_stats=_sim_line()),
+              flush=True)
 
     sampler.add_observer(frame)
     sampler.start()
@@ -166,7 +177,8 @@ def _watch(args) -> str:
 
     final = render_watch(sampler.store, top=args.top, now_ns=scenario.sim.now,
                          samples=sampler.samples_taken,
-                         alerts=scenario.control_plane.alerts.active_alerts)
+                         alerts=scenario.control_plane.alerts.active_alerts,
+                         sim_stats=_sim_line())
     archived = scenario.perfsonar.archiver.telemetry_count()
     return (final + f"\narchived {archived} repro_telemetry events "
             f"({pusher.events_pushed} pushed) alongside "
@@ -234,7 +246,8 @@ def _trace(args) -> str:
                  "seed %d)", duration, join_s, seed)
         scenario.run(duration + 2.0)
 
-        doc = write_perfetto(args.out, tracer)
+        out = args.out or "trace.json"
+        doc = write_perfetto(out, tracer)
         events = tracer.events()
         tids = sorted({ev.trace_id for ev in events})
         layers = sorted({ev.layer for ev in events})
@@ -248,7 +261,7 @@ def _trace(args) -> str:
                 f"{d.reason}@{d.t_ns / 1e9:.3f}s({len(d.events)} ev)"
                 for d in tracer.dumps[:6]) if tracer.dumps else ""),
             f"perfetto JSON ({len(doc['traceEvents'])} entries) "
-            f"written to {args.out} — load at https://ui.perfetto.dev",
+            f"written to {out} — load at https://ui.perfetto.dev",
         ]
         # Exemplar journey: the packet whose events span the most layers.
         if tids:
@@ -260,6 +273,67 @@ def _trace(args) -> str:
         return "\n".join(lines)
     finally:
         provenance.disable()
+
+
+def _export_profile(prof, out_prefix: str) -> list:
+    """Write the profiler's artifacts under ``out_prefix`` and return
+    summary lines.  Phase mode yields ``<prefix>.phases.json``; sampling
+    yields ``<prefix>.collapsed.txt`` + ``<prefix>.speedscope.json``
+    (load the latter at https://speedscope.app)."""
+    from repro.telemetry import profviz
+
+    lines = []
+    if prof.phases:
+        path = f"{out_prefix}.phases.json"
+        profviz.write_phase_report(path, prof.report())
+        lines.append(f"phase report written to {path}")
+    if prof.sampler is not None:
+        collapsed = f"{out_prefix}.collapsed.txt"
+        speedscope = f"{out_prefix}.speedscope.json"
+        stacks = profviz.write_collapsed(collapsed, prof.sampler.samples)
+        profviz.write_speedscope(speedscope, prof.sampler.samples,
+                                 name=out_prefix,
+                                 interval_s=prof.sampler.interval_s)
+        lines.append(
+            f"{prof.sampler.sample_count} stack samples "
+            f"({stacks} unique) written to {collapsed} and {speedscope} "
+            "— load the speedscope file at https://speedscope.app")
+    return lines
+
+
+def _profile(args) -> str:
+    """Performance-attribution run on the substrate scenario (the same
+    seeded two-flow workload as 'stats'): phase-accounted wall time at
+    stage detail, and/or the sampling flamegraph profiler, with the
+    PhaseReport printed and artifacts written under --out (see
+    docs/profiling.md)."""
+    from repro.telemetry import profiling
+
+    prof = profiling.enable(mode=args.mode, detail="stage",
+                            sample_interval_s=args.sample_ms / 1e3,
+                            alloc=args.alloc)
+    try:
+        log.info("profile: mode=%s, %.0f simulated seconds (seed %d)",
+                 args.mode, args.duration, args.seed)
+        scenario, duration = _instrumented_scenario(args)
+        with prof.running():
+            scenario.run(duration + 2.0)
+
+        lines = []
+        if prof.phases:
+            report = prof.report()
+            lines.append(report.render_table(top=20))
+            lines.append("")
+        if prof.alloc and prof.alloc_top:
+            lines.append("top allocation sites (tracemalloc):")
+            for stat in prof.alloc_top[:8]:
+                lines.append(f"  {stat['size_kib']:9.1f} KiB  "
+                             f"{stat['count']:8d} blocks  {stat['where']}")
+            lines.append("")
+        lines.extend(_export_profile(prof, args.out or "profile"))
+        return "\n".join(lines)
+    finally:
+        profiling.disable()
 
 
 def _seeds(value) -> list:
@@ -409,6 +483,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "watch": _watch,
     "validate": _validate,
     "trace": _trace,
+    "profile": _profile,
     "chaos": _chaos,
 }
 
@@ -487,9 +562,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: all four)")
     trace.add_argument("--window", type=int, default=8192, metavar="EVENTS",
                        help="fine-window ring size in events (default: 8192)")
-    trace.add_argument("--out", metavar="FILE", default="trace.json",
-                       help="Perfetto JSON output path for trace mode "
-                            "(default: trace.json)")
+    trace.add_argument("--out", metavar="PATH", default=None,
+                       help="output path: Perfetto JSON for trace mode "
+                            "(default: trace.json), artifact prefix for "
+                            "profile mode (default: profile)")
+    prof = parser.add_argument_group("performance attribution (profile mode)")
+    prof.add_argument("--mode", choices=("phase", "sample", "both"),
+                      default="both",
+                      help="phase-accounted wall time, sampling "
+                           "flamegraph profiler, or both (default: both)")
+    prof.add_argument("--sample-ms", type=float, default=5.0, metavar="MS",
+                      help="stack-sampler interval in milliseconds "
+                           "(default: 5)")
+    prof.add_argument("--alloc", action="store_true",
+                      help="capture a tracemalloc allocation snapshot "
+                           "of the run (adds tracing overhead)")
+    parser.add_argument("--profile-out", metavar="PREFIX", default=None,
+                        help="enable the profiler around any experiment and "
+                             "write its artifacts under PREFIX after the run "
+                             "(PREFIX.phases.json, PREFIX.collapsed.txt, "
+                             "PREFIX.speedscope.json)")
+    parser.add_argument("--profile-mode", choices=("phase", "sample", "both"),
+                        default="both",
+                        help="profiler mode used with --profile-out "
+                             "(default: both)")
     validate = parser.add_argument_group("differential validation")
     validate.add_argument("--replay", metavar="ARTIFACT", default=None,
                           help="re-run one fuzz-failure artifact instead of "
@@ -552,6 +648,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         names.remove("watch")
         names.remove("validate")
         names.remove("trace")
+        names.remove("profile")
         names.remove("chaos")
     # --trace-out: provenance capture around any experiment ('trace'
     # manages its own tracer and export through --out).
@@ -562,11 +659,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   else provenance.DEFAULT_SAMPLE_RATE)
         provenance.enable(fine_window=args.window, sample_rate=sample,
                           flow=args.flow, packet=args.packet)
+    # --profile-out: profiler around any experiment ('profile' manages
+    # its own profiler and export through --out).  Enabled after
+    # provenance so slow phase frames ride the shared Perfetto span log.
+    profile_capture = (args.profile_out is not None
+                       and args.experiment != "profile")
+    prof = None
+    if profile_capture:
+        from repro.telemetry import profiling
+        prof = profiling.enable(mode=args.profile_mode,
+                                sample_interval_s=args.sample_ms / 1e3)
+        prof.start()
     try:
         for name in names:
             log.info("running %s (duration=%.0fs)", name, args.duration)
             print(f"\n{'=' * 70}\n  {name}\n{'=' * 70}")
             print(EXPERIMENTS[name](args))
+        if prof is not None:
+            prof.stop()
+            if prof.phases:
+                print(f"\n{'=' * 70}\n  profile\n{'=' * 70}")
+                print(prof.report().render_table(top=16))
+            for line in _export_profile(prof, args.profile_out):
+                log.info("%s", line)
         if capture:
             from repro.telemetry import provenance
             from repro.telemetry.traceviz import write_perfetto
@@ -576,6 +691,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                      len(doc["traceEvents"]), len(tracer.dumps),
                      args.trace_out)
     finally:
+        if profile_capture:
+            from repro.telemetry import profiling
+            profiling.disable()
         if capture:
             from repro.telemetry import provenance
             provenance.disable()

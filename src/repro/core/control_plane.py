@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro import telemetry
-from repro.telemetry import provenance
+from repro.telemetry import profiling, provenance
 from repro.resilience import faults
 from repro.netsim.engine import Event, Simulator
 from repro.netsim.units import NS_PER_S
@@ -133,6 +133,12 @@ class MonitorControlPlane:
         # trace id on their way through Logstash to the archive.
         self._trace = provenance.tracer()
 
+        # Profiling: each extraction tick body runs inside a
+        # ``cp.extract/<metric>`` phase frame so register-read cost is
+        # attributed separately from packet-path work.
+        _prof = profiling.profiler()
+        self._prof = _prof if (_prof is not None and _prof.phases) else None
+
         # Telemetry handles are bound once here; when disabled every hook
         # below reduces to an ``is None`` test.
         self._tel_cycle_ns = None
@@ -222,15 +228,22 @@ class MonitorControlPlane:
             self.catchup_ticks[kind] += 1
             if self._tel_cycle_ns is not None:
                 self._tel_catchup.labels(kind.value).inc()
-        if self._tel_cycle_ns is not None:
-            with telemetry.span("cp.extract", self.sim):
-                t0 = time.perf_counter_ns()
+        prof = self._prof
+        if prof is not None:
+            prof.begin("cp.extract/" + kind.value)
+        try:
+            if self._tel_cycle_ns is not None:
+                with telemetry.span("cp.extract", self.sim):
+                    t0 = time.perf_counter_ns()
+                    self._tick_fns[kind]()
+                    self._tel_cycle_ns.labels(kind.value).observe(
+                        time.perf_counter_ns() - t0)
+                self._tel_cycles.labels(kind.value).inc()
+            else:
                 self._tick_fns[kind]()
-                self._tel_cycle_ns.labels(kind.value).observe(
-                    time.perf_counter_ns() - t0)
-            self._tel_cycles.labels(kind.value).inc()
-        else:
-            self._tick_fns[kind]()
+        finally:
+            if prof is not None:
+                prof.end()
         self.last_extraction_ns[kind] = self.sim.now
         self._arm(kind)
 

@@ -18,6 +18,7 @@ from typing import Optional, Union
 
 from repro import telemetry
 from repro.netsim.engine import Simulator
+from repro.telemetry import profiling
 from repro.netsim.packet import Packet
 from repro.netsim.tap import MirrorCopy, TapDirection
 from repro.p4.pipeline import P4Pipeline, StandardMetadata
@@ -62,6 +63,26 @@ class P4Monitor:
         self.copies_egress = 0
         if telemetry.enabled():
             self._register_telemetry()
+        _prof = profiling.profiler()
+        if _prof is not None:
+            self._register_profiler_sources(_prof)
+
+    def _register_profiler_sources(self, prof) -> None:
+        """Op-count sources for the PhaseReport, read lazily at report
+        time — the register/sketch hot paths keep their plain-int
+        tallies untouched (same pull pattern as the telemetry
+        collector above)."""
+        prog = self.program
+        prof.add_source("p4.tap_copies",
+                        lambda mon=self: mon.copies_ingress + mon.copies_egress)
+        prof.add_source("p4.register_ops",
+                        lambda p=prog: sum(a.ops for a in p.registers.values()))
+        prof.add_source("p4.sketch_ops",
+                        lambda p=prog: sum(c.updates + c.queries
+                                           for c in p.sketches.values()))
+        prof.add_source("p4.digest_msgs",
+                        lambda p=prog: sum(d.emitted + d.dropped
+                                           for d in p.digests.values()))
 
     def _register_telemetry(self) -> None:
         """Pull-style collection: hot paths keep their plain-int tallies

@@ -14,10 +14,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Any, Callable, Optional
 
 from repro import telemetry
-from repro.telemetry import provenance
+from repro.telemetry import profiling, provenance
 
 
 class Event:
@@ -96,6 +97,18 @@ class Simulator:
         self._seq = itertools.count()
         self._events_run = 0
         self._running = False
+        #: Deepest the queue has ever been (scheduler introspection —
+        #: `repro_sim_event_queue_hwm`).  Tracked unconditionally: the
+        #: cost is one compare per schedule, off the dispatch hot loop.
+        self.queue_hwm = 0
+        # Profiling: when phase accounting is live, run()/run_until()
+        # dispatch through profiled twins that charge each event to a
+        # per-callback cell (one perf_counter_ns per event, timestamps
+        # chained).  Disabled cost is this one binding.
+        _prof = profiling.profiler()
+        if _prof is not None:
+            _prof.bind_clock(self)
+        self._prof = _prof if (_prof is not None and _prof.phases) else None
         # Telemetry stays out of the event loop: counters are pushed once
         # per run()/run_until() call, and queue depth is pulled at
         # snapshot time by a collector (near-zero cost when disabled).
@@ -114,6 +127,25 @@ class Simulator:
                 "repro_netsim_pending_events", "live events still queued")
             telemetry.registry().add_collector(
                 lambda _reg, sim=self: pending_gauge.set(sim.pending))
+            # Scheduler introspection (repro_sim_*): queue pressure the
+            # watch view surfaces.  The hwm counter is synced to the
+            # monotone queue_hwm attribute at collect time.
+            sim_pending = telemetry.gauge(
+                "repro_sim_pending_events",
+                "live events queued in the scheduler")
+            sim_hwm = telemetry.counter(
+                "repro_sim_event_queue_hwm",
+                "event-queue high-water mark (deepest queue seen)")
+            hwm_seen = [0]
+
+            def _sim_stats(_reg, sim=self) -> None:
+                sim_pending.set(sim.pending)
+                delta = sim.queue_hwm - hwm_seen[0]
+                if delta > 0:
+                    sim_hwm.inc(delta)
+                    hwm_seen[0] = sim.queue_hwm
+
+            telemetry.registry().add_collector(_sim_stats)
 
     def _tel_flush(self, executed_before: int) -> None:
         self._tel_events.inc(self._events_run - executed_before)
@@ -129,6 +161,8 @@ class Simulator:
             )
         ev = Event(time_ns, next(self._seq), fn, args)
         heapq.heappush(self._heap, ev)
+        if len(self._heap) > self.queue_hwm:
+            self.queue_hwm = len(self._heap)
         return ev
 
     def after(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
@@ -163,6 +197,8 @@ class Simulator:
         """Run every event with timestamp <= ``time_ns``; clock ends there."""
         if time_ns < self.now:
             raise ValueError(f"cannot run backwards to {time_ns} (now={self.now})")
+        if self._prof is not None:
+            return self._run_until_profiled(time_ns)
         heap = self._heap
         self._running = True
         executed_before = self._events_run
@@ -180,8 +216,59 @@ class Simulator:
                 self._tel_flush(executed_before)
         self.now = time_ns
 
+    def _run_until_profiled(self, time_ns: int) -> None:
+        """run_until twin charging each event to its callback's phase cell.
+
+        Timestamps are chained — one ``perf_counter_ns`` per event covers
+        both the previous event's end and the next one's start — and the
+        profiler's ``nested_ns`` delta separates an event's self time
+        from work already attributed to explicit phase frames it opened
+        (pipeline/control-plane/logstash blocks).
+        """
+        heap = self._heap
+        prof = self._prof
+        cells_get = prof._fn_cells.get
+        heappop = heapq.heappop
+        pcn = time.perf_counter_ns
+        self._running = True
+        executed_before = self._events_run
+        t_prev = pcn()
+        n_prev = prof.nested_ns
+        try:
+            while heap and heap[0].time_ns <= time_ns:
+                ev = heappop(heap)
+                if ev.cancelled:
+                    continue
+                self.now = ev.time_ns
+                self._events_run += 1
+                fn = ev.fn
+                fn(*ev.args)
+                t_now = pcn()
+                # nested_ns grows monotonically (root frames and block
+                # cells add on close), so it chains like the timestamp.
+                n_now = prof.nested_ns
+                # Bound methods of one instance hash equal, so the cell
+                # cache keys on the callback object directly (cheaper
+                # than unwrapping __func__ per event).
+                cell = cells_get(fn)
+                if cell is None:
+                    cell = prof.dispatch_cell(fn, fn)
+                dt = t_now - t_prev
+                cell[0] += dt
+                cell[1] += dt - n_now + n_prev
+                cell[2] += 1
+                t_prev = t_now
+                n_prev = n_now
+        finally:
+            self._running = False
+            if self._tel_events is not None:
+                self._tel_flush(executed_before)
+        self.now = time_ns
+
     def run(self, max_events: Optional[int] = None) -> None:
         """Run until the event queue drains (or ``max_events`` fire)."""
+        if self._prof is not None:
+            return self._run_profiled(max_events)
         heap = self._heap
         budget = max_events if max_events is not None else float("inf")
         self._running = True
@@ -195,6 +282,45 @@ class Simulator:
                 self._events_run += 1
                 budget -= 1
                 ev.fn(*ev.args)
+        finally:
+            self._running = False
+            if self._tel_events is not None:
+                self._tel_flush(executed_before)
+
+    def _run_profiled(self, max_events: Optional[int] = None) -> None:
+        """run() twin with per-callback phase attribution (see
+        :meth:`_run_until_profiled` for the chained-timestamp scheme)."""
+        heap = self._heap
+        prof = self._prof
+        cells_get = prof._fn_cells.get
+        heappop = heapq.heappop
+        pcn = time.perf_counter_ns
+        budget = max_events if max_events is not None else float("inf")
+        self._running = True
+        executed_before = self._events_run
+        t_prev = pcn()
+        n_prev = prof.nested_ns
+        try:
+            while heap and budget > 0:
+                ev = heappop(heap)
+                if ev.cancelled:
+                    continue
+                self.now = ev.time_ns
+                self._events_run += 1
+                budget -= 1
+                fn = ev.fn
+                fn(*ev.args)
+                t_now = pcn()
+                n_now = prof.nested_ns
+                cell = cells_get(fn)
+                if cell is None:
+                    cell = prof.dispatch_cell(fn, fn)
+                dt = t_now - t_prev
+                cell[0] += dt
+                cell[1] += dt - n_now + n_prev
+                cell[2] += 1
+                t_prev = t_now
+                n_prev = n_now
         finally:
             self._running = False
             if self._tel_events is not None:

@@ -19,6 +19,7 @@ from repro.netsim.engine import Simulator
 from repro.netsim.link import Port
 from repro.netsim.packet import Packet
 from repro.netsim.switch import LegacySwitch
+from repro.telemetry import profiling
 
 
 class TapDirection(Enum):
@@ -103,6 +104,11 @@ class OpticalTap:
         self.copies_ingress = 0
         self.copies_egress = 0
         self._trace = sim.trace
+        # Per-hop attribution only in stage detail: block mode already
+        # charges synchronous sink work to the dispatching event's cell.
+        _prof = profiling.profiler()
+        self._prof = (_prof if _prof is not None and _prof.phases
+                      and _prof.detail_stage else None)
 
         switch.ingress_mirrors.append(self._mirror_ingress)
         ports = list(egress_ports) if egress_ports is not None else switch.ports
@@ -141,6 +147,13 @@ class OpticalTap:
                 copy.pkt, copy.timestamp_ns,
                 egress_port_id=copy.egress_port_id)
         if self.fiber_delay_ns == 0:
-            self.sink(copy)
+            if self._prof is not None:
+                self._prof.begin("tap.ship")
+                try:
+                    self.sink(copy)
+                finally:
+                    self._prof.end()
+            else:
+                self.sink(copy)
         else:
             self.sim.after(self.fiber_delay_ns, self.sink, copy)

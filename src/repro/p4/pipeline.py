@@ -17,7 +17,9 @@ from typing import List, Optional
 
 from repro import telemetry
 from repro.p4.parser import HeaderParser, ParsedHeaders
-from repro.telemetry import provenance
+from repro.telemetry import profiling, provenance
+
+_pcn = time.perf_counter_ns
 
 
 @dataclass
@@ -58,9 +60,12 @@ class P4Pipeline:
         self.egress: List[PipelineStage] = []
         self.packets_in = 0
         self.packets_dropped = 0
-        # Instrumentation is bound at construction: when telemetry is off
-        # the per-packet cost is one ``is None`` test in process().
+        # Instrumentation is bound at construction: the winning process()
+        # body is bound directly below, so disabled modes cost nothing
+        # per packet.
         self._trace = provenance.tracer()
+        _prof = profiling.profiler()
+        self._prof = _prof if (_prof is not None and _prof.phases) else None
         self._tel_stage_pkts = None
         if telemetry.enabled():
             self._tel_stage_pkts = telemetry.counter(
@@ -77,6 +82,32 @@ class P4Pipeline:
                 labels=("pipeline",)).labels(name)
             self._tel_parser = self._tel_stage_pkts.labels(name, "parser")
             self._tel_stage_cells: List = []
+        # Direct-body binding: process() IS the plain body; when
+        # instrumentation is on, the winning twin shadows it as an
+        # instance attribute.  Disabled thus pays zero per-packet
+        # guards and keeps plain class dispatch.  Tracing binds the
+        # per-packet dynamic dispatcher (its uid check decides traced
+        # vs untraced), and subclasses overriding process() keep
+        # their override.
+        if self._prof is not None:
+            self._proc_cell = self._prof.cell("p4.process")
+            self._prof_inner = (self._process_instrumented
+                                if self._tel_stage_pkts is not None
+                                else self._process_plain)
+        if self._prof is not None:
+            untraced = (self._process_profiled_stage
+                        if self._prof.detail_stage
+                        else self._process_profiled_block)
+        elif self._tel_stage_pkts is not None:
+            untraced = self._process_instrumented
+        else:
+            untraced = None  # plain body: keep class dispatch
+        self._untraced = untraced if untraced is not None else self._process_plain
+        if type(self).process is P4Pipeline.process:
+            if self._trace is not None:
+                self.process = self._process_dispatch
+            elif untraced is not None:
+                self.process = untraced
 
     def _tel_stage(self, stage: PipelineStage):
         cell = self._tel_stage_pkts.labels(self.name, stage.name)
@@ -97,12 +128,11 @@ class P4Pipeline:
         """Run one packet through parse → ingress → egress.
 
         Returns the parsed headers (None if the parser rejected or a
-        stage dropped it).
+        stage dropped it).  This is the uninstrumented body: when any
+        instrumentation is on, construction shadows it with the right
+        twin as an instance attribute, so the disabled hot path is
+        byte-for-byte this method with plain class dispatch.
         """
-        if self._trace is not None and getattr(packet, "uid", None) is not None:
-            return self._process_traced(packet, meta)
-        if self._tel_stage_pkts is not None:
-            return self._process_instrumented(packet, meta)
         self.packets_in += 1
         hdr = self.parser.parse(packet)
         if hdr is None:
@@ -119,6 +149,16 @@ class P4Pipeline:
                 self.packets_dropped += 1
                 return None
         return hdr
+
+    _process_plain = process  # explicit-dispatch alias for the twins
+
+    def _process_dispatch(self, packet, meta: StandardMetadata) -> Optional[ParsedHeaders]:
+        """Per-packet dispatch for tracing mode (bound only while the
+        tracer is live): traced packets carry a uid, the rest take the
+        untraced twin chosen at construction."""
+        if getattr(packet, "uid", None) is not None:
+            return self._process_traced(packet, meta)
+        return self._untraced(packet, meta)
 
     def _process_instrumented(self, packet, meta: StandardMetadata) -> Optional[ParsedHeaders]:
         """Telemetry twin of :meth:`process`: per-stage packet/drop
@@ -146,6 +186,76 @@ class P4Pipeline:
                     return None
         self._tel_latency.observe(time.perf_counter_ns() - t0)
         return hdr
+
+    def _process_profiled(self, packet, meta: StandardMetadata) -> Optional[ParsedHeaders]:
+        """Profiling twin of :meth:`process`: ``block`` detail charges
+        one ``p4.process`` cell per packet (the ≤10 % always-on budget),
+        ``stage`` detail opens nested parser and per-stage frames
+        (diagnosis mode) — while still feeding the telemetry counters
+        when both are enabled."""
+        if self._prof.detail_stage:
+            return self._process_profiled_stage(packet, meta)
+        return self._process_profiled_block(packet, meta)
+
+    def _process_profiled_block(self, packet, meta: StandardMetadata) -> Optional[ParsedHeaders]:
+        # Block detail never nests frames inside p4.process, and packets
+        # only flow under tap/switch engine events (never inside an open
+        # cp.extract/archiver frame), so the frame stack is skipped:
+        # two clock reads into the cached cell, self == cum, and
+        # nested_ns feeds the engine loop's self-time subtraction.
+        t0 = _pcn()
+        try:
+            return self._prof_inner(packet, meta)
+        finally:
+            dt = _pcn() - t0
+            cell = self._proc_cell
+            cell[0] += dt
+            cell[1] += dt
+            cell[2] += 1
+            self._prof.nested_ns += dt
+
+    def _process_profiled_stage(self, packet, meta: StandardMetadata) -> Optional[ParsedHeaders]:
+        prof = self._prof
+        tel = self._tel_stage_pkts is not None
+        t0 = time.perf_counter_ns() if tel else 0
+        prof.begin("p4.process")
+        try:
+            self.packets_in += 1
+            if tel:
+                self._tel_parser.inc()
+            prof.begin("p4.parser")
+            try:
+                hdr = self.parser.parse(packet)
+            finally:
+                prof.end()
+            if hdr is None:
+                self.packets_dropped += 1
+                if tel:
+                    self._tel_stage_drops.labels(self.name, "parser").inc()
+                    self._tel_latency.observe(time.perf_counter_ns() - t0)
+                return None
+            i = 0
+            for block in (self.ingress, self.egress):
+                for stage in block:
+                    if tel:
+                        self._tel_stage_cells[i].inc()
+                    i += 1
+                    prof.begin("p4.stage/" + stage.name)
+                    try:
+                        stage.process(hdr, meta)
+                    finally:
+                        prof.end()
+                    if meta.drop:
+                        self.packets_dropped += 1
+                        if tel:
+                            self._tel_stage_drops.labels(self.name, stage.name).inc()
+                            self._tel_latency.observe(time.perf_counter_ns() - t0)
+                        return None
+            if tel:
+                self._tel_latency.observe(time.perf_counter_ns() - t0)
+            return hdr
+        finally:
+            prof.end()
 
     def _process_traced(self, packet, meta: StandardMetadata) -> Optional[ParsedHeaders]:
         """Provenance twin of :meth:`process`: opens the packet context so

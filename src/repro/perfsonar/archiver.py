@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro import telemetry
-from repro.telemetry import provenance
+from repro.telemetry import profiling, provenance
 from repro.perfsonar.logstash import (
     LogstashPipeline,
     OpenSearchOutputPlugin,
@@ -37,6 +37,8 @@ class Archiver:
         self.tcp_input = TcpInputPlugin(self.pipeline)
         self.index_prefix = index_prefix
         self._trace = provenance.tracer()
+        _prof = profiling.profiler()
+        self._prof = _prof if (_prof is not None and _prof.phases) else None
         self._tel_records = None
         if telemetry.enabled():
             self._tel_records = telemetry.counter(
@@ -55,6 +57,16 @@ class Archiver:
 
     # The control-plane report sink (accepts Report_v1 dicts).
     def sink(self, report: dict) -> None:
+        if self._prof is not None:
+            self._prof.begin("archiver.sink")
+            try:
+                self._sink_direct(report)
+            finally:
+                self._prof.end()
+            return
+        self._sink_direct(report)
+
+    def _sink_direct(self, report: dict) -> None:
         if self._trace is not None and isinstance(report, dict):
             self._trace.report_event("archiver", "archive", self.index_prefix,
                                      doc_type=report.get("type"))

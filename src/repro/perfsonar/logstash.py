@@ -22,7 +22,7 @@ import time
 from typing import Callable, Dict, List, Optional, Union
 
 from repro import telemetry
-from repro.telemetry import provenance
+from repro.telemetry import profiling, provenance
 from repro.resilience import faults
 from repro.resilience.delivery import SequenceDedup
 from repro.resilience.faults import BackpressureError
@@ -42,6 +42,8 @@ class LogstashPipeline:
         self.events_out = 0
         self.events_dropped = 0
         self._trace = provenance.tracer()
+        _prof = profiling.profiler()
+        self._prof = _prof if (_prof is not None and _prof.phases) else None
         self._tel_events = None
         if telemetry.enabled():
             self._tel_events = telemetry.counter(
@@ -60,6 +62,15 @@ class LogstashPipeline:
         self.outputs.append(fn)
 
     def process(self, event: dict) -> Optional[dict]:
+        if self._prof is not None:
+            self._prof.begin("logstash.process")
+            try:
+                return self._process_direct(event)
+            finally:
+                self._prof.end()
+        return self._process_direct(event)
+
+    def _process_direct(self, event: dict) -> Optional[dict]:
         self.events_in += 1
         tel = self._tel_events
         t0 = time.perf_counter_ns() if tel is not None else 0

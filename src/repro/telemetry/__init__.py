@@ -47,6 +47,12 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     TelemetryError,
 )
+from repro.telemetry.profiling import (
+    PhaseReport,
+    PhaseRow,
+    Profiler,
+    StackSampler,
+)
 from repro.telemetry.provenance import (
     FrozenWindow,
     ProvenanceTracer,
@@ -81,6 +87,7 @@ __all__ = [
     "TelemetryHTTPServer", "TelemetryPusher", "PROM_CONTENT_TYPE",
     "render_watch", "sparkline",
     "ProvenanceTracer", "TraceEvent", "FrozenWindow",
+    "Profiler", "PhaseReport", "PhaseRow", "StackSampler",
 ]
 
 _registry = MetricsRegistry()

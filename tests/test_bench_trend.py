@@ -6,6 +6,7 @@ import subprocess
 import pytest
 
 from benchmarks.trend import (
+    compare_phases,
     compare_records,
     discover_names,
     load_committed,
@@ -171,3 +172,94 @@ def test_repo_committed_records_pass_against_themselves(tmp_path, capsys):
         baseline = load_committed(root, name)
         result = compare_records(baseline, baseline)
         assert not result["regressed"]
+
+
+# -- per-phase attribution (record_phases → compare_phases) -------------------
+
+
+def _phases(**named):
+    """{phase: {self_ns, cum_ns, events}} from phase=self_ms shorthand."""
+    return {name: {"self_ns": int(ms * 1e6), "cum_ns": int(ms * 1e6),
+                   "events": 100} for name, ms in named.items()}
+
+
+def test_compare_phases_localizes_to_largest_regression():
+    base = _phases(engine=400.0, p4=300.0, archiver=50.0)
+    cur = _phases(engine=420.0, p4=900.0, archiver=60.0)  # p4 blew up
+    rows, localized = compare_phases(cur, base)
+    assert localized == "p4"
+    by_phase = {r["phase"]: r for r in rows}
+    assert by_phase["p4"]["ratio"] == 3.0
+    assert by_phase["engine"]["ratio"] == pytest.approx(1.05)
+    # rows come sorted by current self time, descending
+    assert [r["phase"] for r in rows] == ["p4", "engine", "archiver"]
+
+
+def test_compare_phases_noise_floor_boundary():
+    # exactly at the floor participates; one ns under it does not
+    floor_ns = 20_000_000
+    base = {"at": {"self_ns": floor_ns, "events": 1},
+            "under": {"self_ns": floor_ns - 1, "events": 1}}
+    cur = {"at": {"self_ns": floor_ns * 4, "events": 1},
+           "under": {"self_ns": floor_ns * 100, "events": 1}}
+    rows, localized = compare_phases(cur, base, min_baseline_ns=floor_ns)
+    by_phase = {r["phase"]: r for r in rows}
+    assert localized == "at"
+    assert by_phase["at"]["ratio"] == 4.0
+    assert by_phase["under"]["status"] == "noise-floor"
+    assert "ratio" not in by_phase["under"]
+
+
+def test_compare_phases_new_and_gone():
+    base = _phases(engine=400.0, retired=100.0)
+    cur = _phases(engine=400.0, brand_new=500.0)
+    rows, localized = compare_phases(cur, base)
+    by_phase = {r["phase"]: r for r in rows}
+    assert by_phase["brand_new"]["status"] == "new"
+    assert by_phase["retired"]["status"] == "gone"
+    assert "self_ns" not in by_phase["retired"]
+    # a material brand-new phase is a legitimate localization target
+    assert localized == "brand_new"
+
+
+def test_compare_phases_without_baseline_phases():
+    rows, localized = compare_phases(_phases(engine=400.0), None)
+    assert localized == "engine"  # all of it is new time
+    assert rows[0]["status"] == "new"
+
+
+def test_compare_records_localizes_regressed_test_to_phase():
+    base = _record(tests=[
+        {"test": "test_e2e", "outcome": "passed", "wall_s": 1.0,
+         "phases": _phases(engine=600.0, p4=300.0)},
+    ])
+    cur = _record(tests=[
+        {"test": "test_e2e", "outcome": "passed", "wall_s": 1.6,
+         "phases": _phases(engine=620.0, p4=880.0)},
+    ])
+    result = compare_records(cur, base, budget=1.30)
+    assert result["regressed"]
+    row = result["tests"][0]
+    assert row["status"] == "REGRESSED"
+    assert row["localized_to"] == "p4"
+    rendered = render_comparison("substrate", result)
+    assert "localized to p4" in rendered
+    assert "regression localized here" in rendered
+
+
+def test_compare_records_phases_against_phase_free_baseline():
+    # baseline committed before phase attribution existed: per-phase rows
+    # still render (all "new"), but nothing regresses or localizes
+    base = _record(tests=[
+        {"test": "test_e2e", "outcome": "passed", "wall_s": 1.0},
+    ])
+    cur = _record(tests=[
+        {"test": "test_e2e", "outcome": "passed", "wall_s": 1.1,
+         "phases": _phases(engine=600.0)},
+    ])
+    result = compare_records(cur, base, budget=1.30)
+    assert not result["regressed"]
+    row = result["tests"][0]
+    assert row["status"] == "ok"
+    assert row["phases"][0]["status"] == "new"
+    assert "localized_to" not in row

@@ -116,3 +116,72 @@ def test_watch_serves_scrape_endpoint_mid_run(clean_telemetry, capsys,
     capsys.readouterr()
     scraped["thread"].join(timeout=10)
     assert "# TYPE repro_netsim_events_total counter" in scraped["body"]
+
+
+# -- performance-attribution profiler (docs/profiling.md) ---------------------
+
+
+@pytest.fixture
+def clean_profiling():
+    from repro.telemetry import profiling
+
+    profiling.reset()
+    yield
+    profiling.reset()
+
+
+def test_profile_experiment_writes_artifacts(clean_profiling, tmp_path, capsys):
+    out = tmp_path / "prof"
+    rc = main(["profile", "--quick", "--seed", "3", "--duration", "2",
+               "--out", str(out)])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "p4.process" in text          # stage-detail phase table printed
+    assert "p4.parser" in text
+    assert "accounted" in text
+
+    from repro.telemetry.profviz import load_collapsed, load_speedscope
+
+    phases = json.loads((tmp_path / "prof.phases.json").read_text())
+    assert phases["schema"] == "repro-profile-v1"
+    names = {r["phase"] for r in phases["phases"]}
+    assert any(n.startswith("engine/") for n in names)
+    assert any(n.startswith("p4.stage/") for n in names)
+    stacks = load_collapsed(tmp_path / "prof.collapsed.txt")
+    assert stacks
+    doc = load_speedscope(tmp_path / "prof.speedscope.json")
+    assert doc["profiles"][0]["samples"]
+
+
+def test_profile_mode_phase_skips_sampler(clean_profiling, tmp_path, capsys):
+    out = tmp_path / "prof"
+    rc = main(["profile", "--quick", "--seed", "3", "--duration", "2",
+               "--mode", "phase", "--out", str(out)])
+    assert rc == 0
+    assert (tmp_path / "prof.phases.json").exists()
+    assert not (tmp_path / "prof.speedscope.json").exists()
+
+
+def test_global_profile_out_wraps_any_experiment(clean_profiling, tmp_path,
+                                                 capsys):
+    out = tmp_path / "fig13prof"
+    rc = main(["fig13", "--profile-out", str(out)])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "fig13" in text
+    phases = json.loads((tmp_path / "fig13prof.phases.json").read_text())
+    assert phases["phases"], "no phases attributed"
+    assert (tmp_path / "fig13prof.speedscope.json").exists()
+    # after main() returns the profiler must be torn down
+    from repro.telemetry import profiling
+
+    assert not profiling.active()
+
+
+def test_watch_header_reports_scheduler_stats(clean_telemetry, capsys):
+    rc = main(["watch", "--duration", "2", "--refresh", "0.5",
+               "--seed", "5"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "queue-hwm=" in out
+    assert "pending=" in out
