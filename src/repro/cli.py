@@ -97,14 +97,15 @@ def _ablations(args) -> str:
     return "\n".join(parts)
 
 
-def _instrumented_scenario(args):
+def _instrumented_scenario(args, histograms: bool = False):
     """The shared stats/watch workload: two flows plus a mild seeded loss
     impairment so the loss/alert paths light up deterministically."""
     from repro.experiments.common import Scenario, ScenarioConfig
 
+    overrides = {"histograms_enabled": True} if histograms else {}
     scenario = Scenario(
         ScenarioConfig(bottleneck_mbps=25.0, rtts_ms=(20.0, 30.0, 40.0),
-                       reference_rtt_ms=40.0),
+                       reference_rtt_ms=40.0, monitor_overrides=overrides),
         with_perfsonar=True,
     )
     duration = args.duration
@@ -136,12 +137,17 @@ def _watch(args) -> str:
     from repro.telemetry.timeseries import TelemetrySampler
     from repro.telemetry.watch import render_watch
 
-    scenario, duration = _instrumented_scenario(args)
+    scenario, duration = _instrumented_scenario(args, histograms=True)
     interval_ns = max(1, int(args.sample_interval * 1e6))
     sampler = TelemetrySampler(scenario.sim, interval_ns=interval_ns,
                                retention=args.retention)
     pusher = TelemetryPusher(scenario.perfsonar.archiver.sink)
     sampler.add_observer(pusher)
+    extractor = scenario.control_plane.histograms
+    if extractor is not None:
+        # Mirror the live percentile summaries into the flight recorder
+        # so p99 RTT rides the same ring buffers as everything else.
+        sampler.add_sampler(extractor.telemetry_samples)
 
     clear = "\x1b[H\x1b[2J" if sys.stdout.isatty() else ""
     frame_every = max(1, int(args.refresh * 1e9 / interval_ns))
@@ -155,9 +161,11 @@ def _watch(args) -> str:
         if sampler.samples_taken % frame_every:
             return
         alerts = scenario.control_plane.alerts.active_alerts
+        hist_line = extractor.watch_line() if extractor is not None else None
         print(clear + render_watch(sampler.store, top=args.top, now_ns=t_ns,
                                    samples=sampler.samples_taken,
-                                   alerts=alerts, sim_stats=_sim_line()),
+                                   alerts=alerts, sim_stats=_sim_line(),
+                                   hist_line=hist_line),
               flush=True)
 
     sampler.add_observer(frame)
@@ -178,12 +186,74 @@ def _watch(args) -> str:
     final = render_watch(sampler.store, top=args.top, now_ns=scenario.sim.now,
                          samples=sampler.samples_taken,
                          alerts=scenario.control_plane.alerts.active_alerts,
-                         sim_stats=_sim_line())
+                         sim_stats=_sim_line(),
+                         hist_line=(extractor.watch_line()
+                                    if extractor is not None else None))
     archived = scenario.perfsonar.archiver.telemetry_count()
     return (final + f"\narchived {archived} repro_telemetry events "
             f"({pusher.events_pushed} pushed) alongside "
             f"{scenario.perfsonar.archiver.output.documents_written - archived} "
             "measurement documents")
+
+
+def _histograms(args) -> str:
+    """Distribution view: the fig11 microburst scenario with data-plane
+    histograms enabled; prints terminal bin bars and a percentile table
+    from the archived ``repro-histogram-v1`` reports, and optionally
+    dumps those documents to ``--hist-out`` (the CI smoke artifact)."""
+    import json
+
+    from repro.core.histograms import render_bins, render_percentiles
+    from repro.experiments.common import ScenarioConfig
+    from repro.experiments.fig11_microburst import run_fig11
+
+    duration = max(args.duration, 30.0)
+    log.info("histograms: fig11 microburst run, %.0f simulated seconds",
+             duration)
+    result = run_fig11(
+        duration_s=duration, join_s=args.join,
+        config=ScenarioConfig(
+            rtts_ms=(100.0, 100.0, 100.0),
+            buffer_bdp_fraction=0.25,
+            monitor_overrides={"histograms_enabled": True},
+        ),
+    )
+    scenario = result.scenario
+    archiver = scenario.perfsonar.archiver
+    extractor = scenario.control_plane.histograms
+
+    lines = []
+    all_doc = archiver.histogram_latest(metric="rtt", scope="all")
+    if all_doc is not None:
+        lines.append("RTT distribution, all flows "
+                     f"({all_doc['count']} samples):")
+        lines.append(render_bins(all_doc["edges_ns"], all_doc["counts"]))
+        lines.append("")
+    rows = []
+    if extractor is not None and extractor.latest_all is not None:
+        rows.append(dict(extractor.latest_all, label="rtt all"))
+    for fid, row in sorted(extractor.latest.items()) if extractor else []:
+        rows.append(dict(row, label=f"rtt flow {fid & 0xFFFFFF:06x}"))
+    ports = sorted({d["port_id"] for d in
+                    archiver.histogram_documents(metric="queue_depth")})
+    for port in ports:
+        doc = archiver.histogram_latest(metric="queue_depth", port_id=port)
+        rows.append({"label": f"qdepth port {port}", "count": doc["count"],
+                     "p50_ms": doc["p50_ms"], "p90_ms": doc["p90_ms"],
+                     "p99_ms": doc["p99_ms"], "p999_ms": doc["p999_ms"]})
+    if rows:
+        lines.append(render_percentiles(rows))
+        lines.append("")
+    n_docs = archiver.histogram_count()
+    n_cp = len(extractor.change_points) if extractor is not None else 0
+    lines.append(f"archived {n_docs} repro-histogram-v1 documents; "
+                 f"{n_cp} distribution change point(s)")
+    if args.hist_out:
+        docs = archiver.histogram_documents()
+        with open(args.hist_out, "w") as fh:
+            json.dump(docs, fh, indent=2, sort_keys=True)
+        lines.append(f"documents written to {args.hist_out}")
+    return "\n".join(lines)
 
 
 def _parse_flow(text: str):
@@ -481,6 +551,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ablations": _ablations,
     "stats": _stats,
     "watch": _watch,
+    "histograms": _histograms,
     "validate": _validate,
     "trace": _trace,
     "profile": _profile,
@@ -598,6 +669,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "written (default: validation-artifacts)")
     validate.add_argument("--no-shrink", action="store_true",
                           help="skip shrinking failing scenarios")
+    hist = parser.add_argument_group("distribution reports (histograms mode)")
+    hist.add_argument("--hist-out", metavar="FILE", default=None,
+                      help="write the archived repro-histogram-v1 documents "
+                           "to FILE as JSON after the run")
     chaos = parser.add_argument_group("fault injection (chaos mode)")
     chaos.add_argument("--schedule", metavar="NAME_OR_FILE", default=None,
                        help="a bundled schedule name (archiver-outage, "
@@ -646,6 +721,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # validation or provenance modes.
         names.remove("stats")
         names.remove("watch")
+        names.remove("histograms")
         names.remove("validate")
         names.remove("trace")
         names.remove("profile")

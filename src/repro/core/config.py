@@ -90,6 +90,30 @@ class MonitorConfig:
     bottleneck_rate_bps: int = 10_000_000_000
     buffer_bytes: int = 125_000_000
 
+    # Data-plane distribution measurement (read-flip histogram externs):
+    # per-flow RTT bins on the eACK match path and per-port queue-depth
+    # bins on the TAP-pair match path.  48 log bins over 500 us..2 s give
+    # a per-bin ratio of ~1.19 — fine enough that the bucket-upper-bound
+    # quantile estimate sits inside the declared distribution tolerance.
+    histograms_enabled: bool = False
+    rtt_hist_bins: int = 48
+    rtt_hist_min_ns: int = 500_000
+    rtt_hist_max_ns: int = 2_000_000_000
+    rtt_hist_scale: str = "log"
+    qdepth_hist_bins: int = 32
+    qdepth_hist_min_ns: int = 1_000
+    # None -> max_queue_delay_ns() (the 100 % occupancy point) at
+    # stage-construction time.
+    qdepth_hist_max_ns: Optional[int] = None
+    qdepth_hist_scale: str = "log"
+    # Control-plane histogram-extraction tick rate and change-point
+    # policy: windows with at least ``histogram_min_samples`` whose
+    # bin-mass (total-variation) shift against the previous window
+    # exceeds the threshold raise an alert and freeze provenance.
+    histogram_samples_per_second: float = 1.0
+    histogram_shift_threshold: float = 0.35
+    histogram_min_samples: int = 16
+
     # Control-plane policy per metric.
     metrics: Dict[MetricKind, MetricConfig] = field(
         default_factory=lambda: {kind: MetricConfig() for kind in MetricKind}
@@ -137,6 +161,25 @@ class MonitorConfig:
                 raise ValueError(f"{kind.value}: samples_per_second must be positive")
             if mc.alert_enabled and mc.alert_threshold is None:
                 raise ValueError(f"{kind.value}: alert enabled without a threshold")
+        if self.histograms_enabled:
+            if self.rtt_hist_bins < 2 or self.qdepth_hist_bins < 2:
+                raise ValueError("histogram bins must be >= 2")
+            for scale in (self.rtt_hist_scale, self.qdepth_hist_scale):
+                if scale not in ("linear", "log"):
+                    raise ValueError(
+                        f"histogram scale must be linear|log, got {scale!r}"
+                    )
+            if not 0 < self.rtt_hist_min_ns < self.rtt_hist_max_ns:
+                raise ValueError("need 0 < rtt_hist_min_ns < rtt_hist_max_ns")
+            qmax = self.qdepth_hist_max_ns
+            if qmax is not None and not 0 < self.qdepth_hist_min_ns < qmax:
+                raise ValueError("need 0 < qdepth_hist_min_ns < qdepth_hist_max_ns")
+            if self.histogram_samples_per_second <= 0:
+                raise ValueError("histogram_samples_per_second must be positive")
+            if not 0 < self.histogram_shift_threshold <= 1:
+                raise ValueError("need 0 < histogram_shift_threshold <= 1")
+            if self.histogram_min_samples < 1:
+                raise ValueError("histogram_min_samples must be >= 1")
 
     def copy(self) -> "MonitorConfig":
         return replace(self, metrics={k: replace(v) for k, v in self.metrics.items()})

@@ -28,6 +28,7 @@ from repro.netsim.engine import Event, Simulator
 from repro.netsim.units import NS_PER_S
 from repro.core.alerts import AlertManager
 from repro.core.config import MetricKind, MonitorConfig
+from repro.core.histograms import HistogramExtractor
 from repro.core.limiter import LimiterClassifier
 from repro.core.monitor import P4Monitor
 from repro.core.reports import (
@@ -35,6 +36,7 @@ from repro.core.reports import (
     Alert,
     FlowSample,
     FlowTerminationReport,
+    HistogramReport,
     LimiterReport,
     LimiterVerdict,
     MicroburstEvent,
@@ -98,6 +100,7 @@ class MonitorControlPlane:
         self.microbursts: List[MicroburstEvent] = []
         self.terminations: List[FlowTerminationReport] = []
         self.limiter_reports: List[LimiterReport] = []
+        self.histogram_reports: List[HistogramReport] = []
 
         self._timers: Dict[MetricKind, Event] = {}
         self._running = False
@@ -132,6 +135,13 @@ class MonitorControlPlane:
         # that last wrote the slot, and shipped reports inherit that
         # trace id on their way through Logstash to the archive.
         self._trace = provenance.tracer()
+
+        # Distribution extraction (construction-time binding, like every
+        # other optional subsystem): present only when the data plane was
+        # built with histogram externs.
+        self.histograms: Optional[HistogramExtractor] = None
+        if monitor.rtt_loss.rtt_hist is not None:
+            self.histograms = HistogramExtractor(self)
 
         # Profiling: each extraction tick body runs inside a
         # ``cp.extract/<metric>`` phase frame so register-read cost is
@@ -193,12 +203,16 @@ class MonitorControlPlane:
         for kind in MetricKind:
             self.last_extraction_ns[kind] = self.sim.now
             self._arm(kind)
+        if self.histograms is not None:
+            self.histograms.arm()
 
     def stop(self) -> None:
         self._running = False
         for timer in self._timers.values():
             timer.cancel()
         self._timers.clear()
+        if self.histograms is not None:
+            self.histograms.cancel()
 
     def _arm(self, kind: MetricKind) -> None:
         # Cancel-first: set_degraded can re-arm mid-tick, after which the
@@ -269,6 +283,8 @@ class MonitorControlPlane:
         if self._running:
             for kind in MetricKind:
                 self._arm(kind)
+            if self.histograms is not None:
+                self.histograms.arm()
 
     # -- runtime reconfiguration (what pSConfig drives, Fig. 5a) ------------------
 

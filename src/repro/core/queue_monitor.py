@@ -15,6 +15,7 @@ from __future__ import annotations
 import struct
 
 from repro.p4.hashes import crc32_bytes
+from repro.p4.histogram import HistogramRegister, make_edges
 from repro.p4.pipeline import PipelineStage, StandardMetadata
 from repro.p4.parser import ParsedHeaders
 from repro.p4.registers import RegisterArray
@@ -69,6 +70,21 @@ class QueueMonitorStage(PipelineStage):
             RegisterArray("flow_ce_marks", config.flow_slots, 32)
         )
 
+        # Per-port queue-depth distribution from the matched TAP pairs:
+        # one bin row per monitored egress port, read-flip banks.
+        self.ports = config.monitored_ports
+        self.qdepth_hist: "HistogramRegister | None" = None
+        if config.histograms_enabled:
+            qmax = config.qdepth_hist_max_ns
+            if qmax is None:
+                qmax = config.max_queue_delay_ns()
+            self.qdepth_hist = program.histogram(HistogramRegister(
+                "qdepth_hist", self.ports,
+                make_edges(config.qdepth_hist_scale,
+                           config.qdepth_hist_min_ns, qmax,
+                           config.qdepth_hist_bins),
+            ))
+
         self.pairs_matched = 0
         self.pairs_missed = 0
         self.stash_evictions = 0
@@ -95,6 +111,8 @@ class QueueMonitorStage(PipelineStage):
         self.stash_sig.write(cell, 0)
         self.pairs_matched += 1
         meta.queue_delay_ns = delay
+        if self.qdepth_hist is not None:
+            self.qdepth_hist.observe(meta.egress_port_id % self.ports, delay)
         idx = meta.flow_id & self.mask
         self.flow_qdelay.write(idx, delay)
         self.flow_qdelay_max.maximum(idx, delay)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import List, Optional
 
 from repro.netsim.packet import int_to_ip
 from repro.netsim.units import NS_PER_S
@@ -177,6 +177,60 @@ class Alert:
             "threshold": self.threshold,
             "event": "cleared" if self.cleared else "raised",
         }
+
+
+@dataclass
+class HistogramReport:
+    """Full distribution shipped at a histogram-extraction tick: the
+    cumulative bin counts of one scope (a flow's RTT, a port's queue
+    depth, or the all-flow merge) plus the bucket-upper-bound
+    percentiles derived from them.  Archived as ``repro-histogram-v1``."""
+
+    time_ns: int
+    metric: str                  # "rtt" | "queue_depth"
+    scope: str                   # "flow" | "port" | "all"
+    edges_ns: List[int]          # shared bin upper bounds, nanoseconds
+    counts: List[int]            # len(edges_ns) + 1, last = overflow
+    count: int                   # total samples (== sum(counts))
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    p999_ms: float
+    window_count: int = 0        # samples added since the previous tick
+    flow_id: Optional[int] = None
+    src_ip: Optional[int] = None
+    dst_ip: Optional[int] = None
+    port_id: Optional[int] = None
+    # Total-variation bin-mass shift against the previous window (only
+    # meaningful on scope="all" reports; drives change-point alerts).
+    shift: Optional[float] = None
+
+    def to_document(self) -> dict:
+        doc = {
+            "type": "repro-histogram-v1",
+            "@timestamp": self.time_ns / NS_PER_S,
+            "metric": self.metric,
+            "scope": self.scope,
+            "edges_ns": list(self.edges_ns),
+            "counts": list(self.counts),
+            "count": self.count,
+            "window_count": self.window_count,
+            "p50_ms": self.p50_ms,
+            "p90_ms": self.p90_ms,
+            "p99_ms": self.p99_ms,
+            "p999_ms": self.p999_ms,
+        }
+        if self.flow_id is not None:
+            doc["flow_id"] = self.flow_id
+        if self.src_ip is not None:
+            doc["source_ip"] = int_to_ip(self.src_ip)
+        if self.dst_ip is not None:
+            doc["destination_ip"] = int_to_ip(self.dst_ip)
+        if self.port_id is not None:
+            doc["port_id"] = self.port_id
+        if self.shift is not None:
+            doc["shift"] = self.shift
+        return doc
 
 
 @dataclass

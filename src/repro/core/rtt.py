@@ -26,6 +26,7 @@ import struct
 from repro.netsim.packet import TCPFlags
 from repro.telemetry import provenance
 from repro.p4.hashes import crc32_bytes
+from repro.p4.histogram import HistogramRegister, make_edges
 from repro.p4.pipeline import PipelineStage, StandardMetadata
 from repro.p4.parser import ParsedHeaders
 from repro.p4.registers import RegisterArray
@@ -52,6 +53,17 @@ class RttLossStage(PipelineStage):
         self.rtt_count = program.register(RegisterArray("rtt_count", config.flow_slots, 32))
         self.eack_ts = program.register(RegisterArray("eack_ts", self.stash_size, ts_bits))
         self.eack_sig = program.register(RegisterArray("eack_sig", self.stash_size, 32))
+
+        # Per-flow RTT distribution on the same eACK match path: one bin
+        # row per flow slot, paired read/flip banks (construction-time
+        # binding; the disabled path costs one ``is not None`` test).
+        self.rtt_hist: "HistogramRegister | None" = None
+        if config.histograms_enabled:
+            self.rtt_hist = program.histogram(HistogramRegister(
+                "rtt_hist", config.flow_slots,
+                make_edges(config.rtt_hist_scale, config.rtt_hist_min_ns,
+                           config.rtt_hist_max_ns, config.rtt_hist_bins),
+            ))
 
         self._trace = provenance.tracer()
         self.rtt_matches = 0
@@ -118,6 +130,8 @@ class RttLossStage(PipelineStage):
             idx = meta.flow_id & self.mask
             self.rtt.write(idx, rtt)
             self.rtt_count.add(idx, 1)
+            if self.rtt_hist is not None:
+                self.rtt_hist.observe(idx, rtt)
             self.rtt_matches += 1
         else:
             self.rtt_misses += 1

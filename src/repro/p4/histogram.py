@@ -1,0 +1,216 @@
+"""Read-flip histogram register extern.
+
+P4TG-style distribution measurement: instead of a scalar "latest RTT"
+register, the data plane maintains one bin-count row per tracked index
+(flow slot or egress port) and increments the bin a sample falls into —
+a handful of TCAM range matches plus one register increment on hardware,
+one ``bisect`` plus one array increment here.
+
+The control-plane read problem is solved PrintQueue-style with **paired
+banks**: the data plane always writes the *active* bank; the control
+plane ``flip()``\\ s the banks and then reads/clears the now-quiescent
+one at leisure while new samples land in the other.  Each
+:meth:`extract` therefore returns exactly the samples observed since the
+previous extraction (a per-window delta), and no sample is ever lost or
+double-counted — the conservation property the hypothesis suite pins
+down across arbitrary flip schedules.
+
+Bin edges are configurable (linear or logarithmic), shared by every row
+of one extern, and use the same ``bisect_left`` upper-bound semantics as
+:class:`repro.telemetry.metrics.Histogram`: ``counts`` has
+``len(edges) + 1`` entries, the last being the overflow bucket, so the
+existing :func:`repro.telemetry.export.histogram_quantile` consumes the
+dumps unchanged.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.telemetry import provenance
+from repro.telemetry.export import histogram_quantile
+
+__all__ = ["HistogramRegister", "linear_edges", "log_edges", "make_edges",
+           "bin_quantile", "bin_series", "merge_counts"]
+
+
+def linear_edges(lo: int, hi: int, nbins: int) -> List[int]:
+    """``nbins`` equal-width upper bounds covering [lo, hi]."""
+    if nbins < 2:
+        raise ValueError("need at least 2 bins")
+    if not 0 <= lo < hi:
+        raise ValueError("need 0 <= lo < hi")
+    step = (hi - lo) / nbins
+    edges = [int(round(lo + step * (i + 1))) for i in range(nbins)]
+    edges[-1] = int(hi)
+    return _dedup(edges)
+
+
+def log_edges(lo: int, hi: int, nbins: int) -> List[int]:
+    """``nbins`` geometrically-spaced upper bounds covering [lo, hi] —
+    constant *relative* resolution, the right shape for latency."""
+    if nbins < 2:
+        raise ValueError("need at least 2 bins")
+    if not 0 < lo < hi:
+        raise ValueError("need 0 < lo < hi")
+    ratio = (hi / lo) ** (1.0 / nbins)
+    edges = [int(round(lo * ratio ** (i + 1))) for i in range(nbins)]
+    edges[-1] = int(hi)
+    return _dedup(edges)
+
+
+def make_edges(scale: str, lo: int, hi: int, nbins: int) -> List[int]:
+    if scale == "linear":
+        return linear_edges(lo, hi, nbins)
+    if scale == "log":
+        return log_edges(lo, hi, nbins)
+    raise ValueError(f"unknown bin scale {scale!r} (expected linear|log)")
+
+
+def _dedup(edges: List[int]) -> List[int]:
+    """Strictly increasing edges (integer rounding can collapse the
+    lowest log bins at coarse resolutions)."""
+    out: List[int] = []
+    for e in edges:
+        if not out or e > out[-1]:
+            out.append(e)
+    return out
+
+
+def bin_series(edges: Sequence[int], counts: Sequence[int],
+               observed_max: Optional[float] = None) -> dict:
+    """The ``{"buckets", "counts", "count", "max"}`` dump shape the
+    telemetry exporters consume, from one bin row."""
+    counts = [int(c) for c in counts]
+    return {
+        "buckets": list(edges),
+        "counts": counts,
+        "count": sum(counts),
+        "max": observed_max,
+    }
+
+
+def bin_quantile(edges: Sequence[int], counts: Sequence[int], q: float) -> float:
+    """Bucket-upper-bound ``q`` quantile of one bin row (same estimator
+    as the telemetry histograms, so percentiles agree across layers)."""
+    return histogram_quantile(bin_series(edges, counts), q)
+
+
+def merge_counts(*rows: np.ndarray) -> np.ndarray:
+    """Elementwise merge of bin rows (associative + commutative: the
+    merged histogram is the histogram of the union of the samples)."""
+    if not rows:
+        raise ValueError("nothing to merge")
+    out = np.zeros_like(np.asarray(rows[0], dtype=np.uint64))
+    for row in rows:
+        out = out + np.asarray(row, dtype=np.uint64)
+    return out
+
+
+class HistogramRegister:
+    """``size`` rows of bin counters with paired read/flip banks.
+
+    Data plane: :meth:`observe` bins a sample into the active bank.
+    Control plane: :meth:`extract` flips the banks and returns + clears
+    the quiescent one — the per-window delta since the last extract.
+    """
+
+    def __init__(self, name: str, size: int, edges: Sequence[int]) -> None:
+        if size <= 0:
+            raise ValueError("histogram size must be positive")
+        edges = [int(e) for e in edges]
+        if len(edges) < 2:
+            raise ValueError("need at least 2 bin edges")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("bin edges must be strictly increasing")
+        self.name = name
+        self.size = size
+        self.edges = edges
+        self.nbins = len(edges) + 1  # + overflow bucket
+        # Two (size, nbins) banks; the data plane writes banks[active].
+        self._banks = [np.zeros((size, self.nbins), dtype=np.uint64),
+                       np.zeros((size, self.nbins), dtype=np.uint64)]
+        self.active = 0
+        # Plain-int tallies, pulled by telemetry/profiler collectors.
+        self.ops = 0
+        self.flips = 0
+        # Provenance mirrors the RegisterArray discipline: sampled
+        # packets record old -> new bin counts, unsampled ones keep the
+        # last-writer linkage exact.
+        self._trace = provenance.tracer()
+        self._lw = (None if self._trace is None
+                    else self._trace.writer_map(name, size))
+
+    # -- data-plane access (per packet) ---------------------------------------
+
+    def observe(self, index: int, value: int) -> None:
+        self.ops += 1
+        b = bisect_left(self.edges, value)
+        row = self._banks[self.active][index]
+        tr = self._trace
+        if tr is not None:
+            tid = tr._ctx_id
+            if tid:
+                if tr._ctx_rec:
+                    old = int(row[b])
+                    row[b] = old + 1
+                    tr.register_write(self.name, index, old, old + 1)
+                    return
+                self._lw[index] = tid
+        row[b] += np.uint64(1)
+
+    # -- control-plane access (bulk) ------------------------------------------
+
+    def flip(self) -> int:
+        """Swap the banks; returns the index of the now-quiescent bank
+        (the one the data plane was writing until this call)."""
+        quiescent = self.active
+        self.active ^= 1
+        self.flips += 1
+        return quiescent
+
+    def read_quiescent(self) -> np.ndarray:
+        """Copy of the bank the data plane is *not* writing."""
+        return self._banks[1 - self.active].copy()
+
+    def clear_quiescent(self) -> None:
+        self._banks[1 - self.active][:] = 0
+
+    def extract(self) -> np.ndarray:
+        """Flip, then read + clear the quiescent bank: the counts of
+        every sample observed since the previous extract (plus whatever
+        residue the pre-flip quiescent bank still held — zero under the
+        flip/read/clear discipline this method enforces)."""
+        self.flip()
+        window = self.read_quiescent()
+        self.clear_quiescent()
+        return window
+
+    def snapshot(self) -> np.ndarray:
+        """Both banks summed — the all-time counts regardless of flip
+        phase (control-plane sync read, used by tests and state dumps)."""
+        return self._banks[0] + self._banks[1]
+
+    def bank(self, which: int) -> np.ndarray:
+        return self._banks[which].copy()
+
+    def total_observations(self) -> int:
+        return int(self._banks[0].sum() + self._banks[1].sum())
+
+    def clear(self) -> None:
+        self._banks[0][:] = 0
+        self._banks[1][:] = 0
+
+    def row_quantile(self, index: int, q: float) -> float:
+        """Bucket-upper-bound quantile of one row's all-time counts."""
+        return bin_quantile(self.edges, self.snapshot()[index], q)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"HistogramRegister({self.name!r}, size={self.size}, "
+                f"bins={self.nbins})")

@@ -17,6 +17,7 @@ from typing import Dict, Iterable, Optional
 import numpy as np
 
 from repro.p4.externs import Digest, DigestReceiver
+from repro.p4.histogram import HistogramRegister
 from repro.p4.registers import Counter, RegisterArray
 from repro.p4.sketch import CountMinSketch
 from repro.p4.tables import MatchActionTable
@@ -32,6 +33,7 @@ class P4Program:
         self.tables: Dict[str, MatchActionTable] = {}
         self.digests: Dict[str, Digest] = {}
         self.sketches: Dict[str, CountMinSketch] = {}
+        self.histograms: Dict[str, HistogramRegister] = {}
 
     # Registration (called by the program at construction time).
 
@@ -65,6 +67,12 @@ class P4Program:
         self.sketches[name] = cms
         return cms
 
+    def histogram(self, hist: HistogramRegister) -> HistogramRegister:
+        if hist.name in self.histograms:
+            raise ValueError(f"duplicate histogram {hist.name!r}")
+        self.histograms[hist.name] = hist
+        return hist
+
     # -- whole-program state (validation / replay round-trips) ---------------
 
     def state_snapshot(self) -> Dict[str, np.ndarray]:
@@ -82,6 +90,13 @@ class P4Program:
             pkts, nbytes = ctr.snapshot()
             state[f"counter/{name}/packets"] = pkts
             state[f"counter/{name}/bytes"] = nbytes
+        for name, hist in self.histograms.items():
+            # Both banks plus the flip phase: two replays of the same
+            # capture with the same flip schedule must digest equal.
+            state[f"histogram/{name}/bank0"] = hist.bank(0)
+            state[f"histogram/{name}/bank1"] = hist.bank(1)
+            state[f"histogram/{name}/active"] = np.array([hist.active],
+                                                         dtype=np.uint64)
         return state
 
     def state_digest(self) -> str:
@@ -137,6 +152,28 @@ class P4RuntimeClient:
                 f"program {self.program.name!r} has no register {name!r}; "
                 f"available: {sorted(self.program.registers)}"
             ) from None
+
+    # -- histograms ----------------------------------------------------------
+
+    def histogram(self, name: str) -> HistogramRegister:
+        try:
+            return self.program.histograms[name]
+        except KeyError:
+            raise KeyError(
+                f"program {self.program.name!r} has no histogram {name!r}; "
+                f"available: {sorted(self.program.histograms)}"
+            ) from None
+
+    def read_histogram(self, name: str) -> np.ndarray:
+        """All-time bin counts (both banks summed), one row per index."""
+        self.register_reads += 1
+        return self.histogram(name).snapshot()
+
+    def extract_histogram(self, name: str) -> np.ndarray:
+        """Flip the banks and return + clear the quiescent one — the
+        per-window delta counts since the previous extraction."""
+        self.register_reads += 1
+        return self.histogram(name).extract()
 
     # -- counters ------------------------------------------------------------
 

@@ -100,6 +100,37 @@ class Archiver:
                 seen.setdefault(fid, None)
         return list(seen)
 
+    # -- distribution documents (repro-histogram-v1 reports) -------------------
+
+    HISTOGRAM_KIND = "repro-histogram-v1"
+
+    def histogram_count(self) -> int:
+        return self.count(self.HISTOGRAM_KIND)
+
+    def histogram_documents(self, **terms) -> List[dict]:
+        """Archived distribution reports, optionally filtered by exact
+        field match (``metric="rtt"``, ``scope="flow"``,
+        ``flow_id=...``, ``port_id=...``)."""
+        return self.documents(self.HISTOGRAM_KIND, **terms)
+
+    def histogram_latest(self, **terms) -> Optional[dict]:
+        """Most recent matching distribution (cumulative counts grow
+        monotonically, so the last document is the full distribution)."""
+        docs = self.histogram_documents(**terms)
+        if not docs:
+            return None
+        return max(docs, key=lambda d: d.get("@timestamp", 0.0))
+
+    def histogram_percentile_series(self, field: str = "p99_ms",
+                                    **terms) -> List[tuple]:
+        """(t_s, percentile) series of one scope's distribution reports —
+        what a percentile-band dashboard panel queries."""
+        return [
+            (doc.get("@timestamp", 0.0), doc.get(field, 0.0))
+            for doc in self.histogram_documents(**terms)
+            if field in doc
+        ]
+
     # -- flight-recorder documents (repro_telemetry events) --------------------
 
     TELEMETRY_KIND = "repro_telemetry"

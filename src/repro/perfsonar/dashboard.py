@@ -28,6 +28,12 @@ AGG_PANEL_SPECS = [
     ("Active flows", "p4_aggregate", "active_flows"),
 ]
 
+# Distribution reports are not scalar series: one document carries a
+# whole histogram plus derived percentiles.  Dashboards render them as
+# percentile *bands* (one series per percentile field, stacked p50 under
+# p90 under p99), never as a single "value" series.
+PERCENTILE_FIELDS = ("p50_ms", "p90_ms", "p99_ms")
+
 
 def _group_key(doc: dict, group_by: str) -> Optional[str]:
     return doc.get(group_by)
@@ -76,6 +82,32 @@ def build_dashboard(
             }],
         })
         panel_id += 1
+    hist_kind = Archiver.HISTOGRAM_KIND
+    if archiver.documents(hist_kind, metric="rtt", scope="flow"):
+        flows = sorted({
+            d["flow_id"] for d in archiver.documents(hist_kind, scope="flow")
+            if d.get("flow_id") is not None
+        })
+        panels.append({
+            "id": panel_id,
+            "title": "RTT distribution (percentile bands)",
+            "type": "timeseries",
+            "fieldConfig": {"defaults": {"unit": "ms",
+                                         "custom": {"fillOpacity": 20}}},
+            "targets": [
+                {
+                    "refId": chr(ord("A") + i % 26),
+                    "query": f"type:{hist_kind} AND scope:flow "
+                             f"AND flow_id:{fid}",
+                    "metrics": [{"type": "avg", "field": field}],
+                    "alias": f"{fid} {field[:-3]}",
+                }
+                for i, (fid, field) in enumerate(
+                    (fid, field) for fid in flows
+                    for field in PERCENTILE_FIELDS)
+            ],
+        })
+        panel_id += 1
     return {
         "title": title,
         "schemaVersion": 39,
@@ -105,3 +137,30 @@ def panel_series(
     for pts in series.values():
         pts.sort()
     return series
+
+
+def percentile_band_series(
+    archiver: Archiver,
+    metric: str = "rtt",
+    scope: str = "flow",
+    group_by: str = "flow_id",
+    fields: tuple = PERCENTILE_FIELDS,
+) -> Dict[str, Dict[str, List[tuple]]]:
+    """The concrete series behind a percentile-band panel: per group,
+    one sorted (t, value) series per percentile field.  Distribution
+    documents carry no scalar ``value``, so :func:`panel_series` would
+    render them empty — this is the distribution-aware counterpart."""
+    bands: Dict[str, Dict[str, List[tuple]]] = {}
+    for doc in archiver.histogram_documents(metric=metric, scope=scope):
+        group = doc.get(group_by) if scope != "all" else "all"
+        if group is None:
+            continue
+        entry = bands.setdefault(str(group), {f: [] for f in fields})
+        t = doc.get("@timestamp", 0.0)
+        for field in fields:
+            if field in doc:
+                entry[field].append((t, doc[field]))
+    for entry in bands.values():
+        for pts in entry.values():
+            pts.sort()
+    return bands

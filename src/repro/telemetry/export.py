@@ -92,16 +92,24 @@ def histogram_quantile(series: dict, q: float) -> float:
     and the watch view can derive p50/p90/p99 without the live object."""
     if not 0.0 <= q <= 1.0:
         raise ValueError("quantile must be in [0, 1]")
+    counts = series.get("counts") or []
     count = series.get("count", 0)
     if not count:
+        # Dumps from foreign sources (merged bin rows, hand-built dicts)
+        # may omit the precomputed total; derive it from the bins.
+        count = sum(counts)
+    if not count:
         return 0.0
-    bounds = series["buckets"]
+    bounds = series.get("buckets") or []
     observed_max = series.get("max")
-    if observed_max is None:
-        observed_max = bounds[-1]
+    if (observed_max is None
+            or not math.isfinite(observed_max)):
+        # None, NaN or ±inf would leak straight into the return value on
+        # the overflow-bucket path; fall back to the last finite bound.
+        observed_max = bounds[-1] if bounds else 0.0
     rank = q * count
     seen = 0
-    for i, c in enumerate(series["counts"]):
+    for i, c in enumerate(counts):
         seen += c
         if seen >= rank and c:
             return bounds[i] if i < len(bounds) else observed_max

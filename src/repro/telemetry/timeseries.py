@@ -262,9 +262,17 @@ class TelemetrySampler:
         self.running = False
         self._timer = None
         self._observers: List[Callable[[int, List[dict]], None]] = []
+        self._samplers: List[Callable[[int], Iterable[tuple]]] = []
 
     def add_observer(self, fn: Callable[[int, List[dict]], None]) -> None:
         self._observers.append(fn)
+
+    def add_sampler(self, fn: Callable[[int], Iterable[tuple]]) -> None:
+        """Register an extra point source polled each tick: ``fn(t_ns)``
+        yields ``(name, labels_dict, kind, value)`` tuples folded into
+        the store alongside the registry snapshot (e.g. the control
+        plane's histogram-percentile mirror)."""
+        self._samplers.append(fn)
 
     def start(self) -> None:
         if self.running:
@@ -286,7 +294,16 @@ class TelemetrySampler:
         else:
             from repro import telemetry
             registry = telemetry.registry()
-        retained = self.store.record(self.sim.now, registry.snapshot())
+        now = self.sim.now
+        retained = self.store.record(now, registry.snapshot())
+        for sampler in self._samplers:
+            for name, labels, kind, value in sampler(now):
+                labels_t = tuple(sorted((k, str(v)) for k, v in labels.items()))
+                point = self.store._append(name, labels_t, kind, now,
+                                           float(value))
+                if point is not None:
+                    retained.append(self.store._as_record(
+                        name, labels_t, kind, point))
         self.samples_taken += 1
         for fn in self._observers:
-            fn(self.sim.now, retained)
+            fn(now, retained)

@@ -50,14 +50,16 @@ def _alert_line(alerts) -> str:
 def render_watch(store: TimeSeriesStore, top: int = 12, width: int = 24,
                  now_ns: Optional[int] = None, samples: Optional[int] = None,
                  alerts: Optional[list] = None,
-                 sim_stats: Optional[str] = None) -> str:
+                 sim_stats: Optional[str] = None,
+                 hist_line: Optional[str] = None) -> str:
     """One watch frame: header, scheduler line, top-N table with
     sparklines, alert line.
 
     ``sim_stats`` is a pre-rendered scheduler-introspection line
     (pending events / queue high-water mark / events run) shown right
     under the header — the CLI's watch mode feeds it from the live
-    simulator.
+    simulator.  ``hist_line`` is the control plane's live p99-RTT
+    distribution summary, shown the same way when histograms are on.
 
     Series are ranked by how fast they are moving right now (|last
     delta|); the sparkline plots per-sample deltas, so a steady counter
@@ -73,6 +75,8 @@ def render_watch(store: TimeSeriesStore, top: int = 12, width: int = 24,
                f" (cap {store.retention}/series)")
     if sim_stats:
         header += "\n" + sim_stats
+    if hist_line:
+        header += "\n" + hist_line
 
     rows: List[tuple] = []
     for series in store.top(top):

@@ -52,6 +52,7 @@ from repro.validation.tolerances import (
     MICROBURST_MS,
     QUEUE_DELAY_MS,
     RTT_COVERAGE,
+    RTT_DISTRIBUTION_MS,
     RTT_MS,
     SKETCH,
     Tolerance,
@@ -163,6 +164,7 @@ class DifferentialChecker:
             self._check_counters(flow, truth, report)
             self._check_loss(flow, truth, report)
             self._check_rtt(flow, truth, report)
+            self._check_rtt_distribution(flow, truth, report)
             self._check_queue(flow, truth, report)
             self._check_claim(flow, truth, report)
         self._check_tracking_coverage(report)
@@ -316,6 +318,47 @@ class DifferentialChecker:
                   f"t={first_bad[0]:.2f}s" if unmatched
                   else f"{checked} ticks matched"),
         ))
+
+    #: Percentiles over fewer samples than this are too noisy to compare.
+    RTT_DISTRIBUTION_MIN_SAMPLES = 16
+
+    def _check_rtt_distribution(self, flow: TrackedFlow, truth: FlowTruth,
+                                report: ValidationReport) -> None:
+        """Histogram-derived p50/p99 vs numpy percentiles of the oracle's
+        per-packet RTT samples — the distribution-level counterpart of
+        the envelope/median checks, active only when the run was built
+        with data-plane histograms."""
+        ext = getattr(self.cp, "histograms", None)
+        if ext is None:
+            return
+        if self._shares_index(flow, "rev_flow_id"):
+            report.skip(f"rtt distribution {self._label(flow)}: "
+                        f"histogram row shared")
+            return
+        import numpy as np
+        from repro.p4.histogram import bin_quantile
+        hist = self.cp.monitor.rtt_loss.rtt_hist
+        idx = flow.rev_flow_id & self.mask
+        # Extracted windows plus whatever still sits in the banks: the
+        # complete all-time row, regardless of extraction phase.
+        counts = ext.rtt_cumulative[idx] + hist.snapshot()[idx]
+        total = int(counts.sum())
+        truth_ms = [r / NS_PER_MS for r in truth.expected_rtt_values_ns]
+        if (total < self.RTT_DISTRIBUTION_MIN_SAMPLES
+                or len(truth_ms) < self.RTT_DISTRIBUTION_MIN_SAMPLES):
+            report.skip(f"rtt distribution {self._label(flow)}: too few "
+                        f"samples (hist={total}, truth={len(truth_ms)})")
+            return
+        for q, name in ((0.50, "p50"), (0.99, "p99")):
+            p4_ms = bin_quantile(hist.edges, counts, q) / NS_PER_MS
+            tr_ms = float(np.percentile(truth_ms, q * 100))
+            report.add(CheckResult(
+                metric=f"rtt_distribution_{name}", subject=self._label(flow),
+                p4_value=p4_ms, truth_value=tr_ms,
+                tolerance=RTT_DISTRIBUTION_MS.describe(),
+                passed=RTT_DISTRIBUTION_MS.allows(p4_ms, tr_ms),
+                note=RTT_DISTRIBUTION_MS.note,
+            ))
 
     def _check_rtt_coverage(self, flow: TrackedFlow, truth: FlowTruth,
                             report: ValidationReport) -> None:

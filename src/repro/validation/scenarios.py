@@ -103,6 +103,7 @@ class ScenarioSpec:
     duration_s: float = 10.0
     long_flow_bytes: int = 50_000
     cms_width: int = 4096
+    histograms: bool = False
     flows: List[FlowSpec] = field(default_factory=list)
     losses: List[LossSpec] = field(default_factory=list)
     jitters: List[JitterSpec] = field(default_factory=list)
@@ -233,6 +234,7 @@ class ScenarioSpec:
             monitor_overrides={
                 "long_flow_bytes": self.long_flow_bytes,
                 "cms_width": self.cms_width,
+                "histograms_enabled": self.histograms,
             },
         )
         scenario = Scenario(config, with_perfsonar=False,

@@ -105,3 +105,32 @@ def test_histogram_quantile_empty_and_bounds():
 def test_render_table_shows_quantiles():
     table = render_table(sample_registry().snapshot())
     assert "p50=" in table and "p90=" in table and "p99=" in table
+
+
+def test_histogram_quantile_foreign_dump_hardening():
+    """Dumps built outside ``Histogram.dump()`` — merged histogram-extern
+    rows, hand-written dicts, partially-filled documents — must never
+    crash or leak NaN/inf into the estimate."""
+    import math
+
+    from repro.telemetry.export import histogram_quantile
+
+    # Missing "count": derived from the bins.
+    assert histogram_quantile(
+        {"buckets": [10, 100], "counts": [0, 4, 0]}, 0.5) == 100
+    # Missing/None counts and buckets: empty series, not a crash.
+    assert histogram_quantile({}, 0.5) == 0.0
+    assert histogram_quantile({"counts": None, "buckets": None}, 0.5) == 0.0
+    # Overflow path with a poisoned max: falls back to the last bound.
+    for bad_max in (None, math.nan, math.inf, -math.inf):
+        est = histogram_quantile(
+            {"buckets": [10, 100], "counts": [0, 0, 3], "count": 3,
+             "max": bad_max}, 0.99)
+        assert est == 100
+        assert math.isfinite(est)
+    # No buckets at all on the overflow path: 0.0, still finite.
+    assert histogram_quantile({"counts": [5], "count": 5}, 0.5) == 0.0
+    # q extremes stay exact on a foreign dump.
+    dump = {"buckets": [10, 100], "counts": [2, 2, 0], "count": 4}
+    assert histogram_quantile(dump, 0.0) == 10
+    assert histogram_quantile(dump, 1.0) == 100

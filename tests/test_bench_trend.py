@@ -164,7 +164,8 @@ def test_repo_committed_records_pass_against_themselves(tmp_path, capsys):
     from pathlib import Path
 
     root = Path(__file__).resolve().parent.parent
-    names = [n for n in ("substrate", "telemetry_overhead")
+    names = [n for n in ("substrate", "telemetry_overhead",
+                         "histogram_overhead")
              if load_committed(root, n) is not None]
     if not names:
         pytest.skip("no committed BENCH records at HEAD")

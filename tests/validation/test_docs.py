@@ -23,6 +23,7 @@ def test_docs_exist_and_cover_every_tolerance_row():
         "microburst_peak_ms": ("microburst_peak_ms",),
         "sketch_bytes": ("sketch_bytes",),
         "long_flow_claim": ("long_flow_claim",),
+        "rtt_distribution_ms": ("rtt_distribution_p50", "rtt_distribution_p99"),
     }
     assert set(checks) == set(TOLERANCES), "tolerance table changed: update map"
     for metric, mentions in checks.items():
