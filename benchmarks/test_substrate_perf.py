@@ -95,6 +95,31 @@ def test_end_to_end_simulation_rate(benchmark):
     assert events > 10_000
 
 
+def test_end_to_end_simulation_rate_scalar(benchmark):
+    """Scalar twin of :func:`test_end_to_end_simulation_rate`: identical
+    scenario with ``batched_path=False``, so the monitor dispatches every
+    mirror copy through the per-packet pipeline.  The trend gate pairs
+    the two records (``X`` / ``X_scalar``) and fails if the batched
+    kernel ever loses its speedup."""
+    from repro.experiments.common import Scenario, ScenarioConfig
+
+    def run():
+        scenario = Scenario(
+            ScenarioConfig(bottleneck_mbps=25.0, rtts_ms=(20.0, 30.0, 40.0),
+                           reference_rtt_ms=40.0,
+                           monitor_overrides={"batched_path": False}),
+            with_perfsonar=False,
+        )
+        scenario.add_flow(0, duration_s=3.0)
+        scenario.add_flow(1, duration_s=3.0)
+        scenario.run(4.0)
+        assert scenario.monitor.kernel is None
+        return scenario.sim.events_run
+
+    events = benchmark(run)
+    assert events > 10_000
+
+
 def test_phase_attribution_record(once, record_phases):
     """The end-to-end scenario under phase profiling: records per-phase
     self/cum time into BENCH_substrate.json so the trend gate can

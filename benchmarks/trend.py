@@ -38,6 +38,13 @@ from typing import List, Optional
 
 DEFAULT_BUDGET = 1.30        # fail above +30 % wall time
 DEFAULT_MIN_BASELINE_S = 0.05  # ignore sub-50 ms baselines (scheduler noise)
+#: Construction-time twin convention: a benchmark named ``X`` with a
+#: sibling ``X_scalar`` measures the same workload on the batched and
+#: scalar monitor paths.  The gate reports scalar/batched as the
+#: speedup and fails if it drops below this floor (batched slower than
+#: the scalar path it exists to beat).
+TWIN_SUFFIX = "_scalar"
+DEFAULT_MIN_SPEEDUP = 1.0
 # Phase self-times below this are noise for localization purposes —
 # per-phase rows still render, but a regression is never pinned on a
 # phase whose baseline share was under 20 ms.
@@ -115,21 +122,74 @@ def compare_phases(current_phases: dict, baseline_phases: Optional[dict],
     return rows, localized
 
 
+def compare_twins(current: dict, baseline: Optional[dict],
+                  min_speedup: float = DEFAULT_MIN_SPEEDUP,
+                  min_baseline_s: float = DEFAULT_MIN_BASELINE_S):
+    """Batched-vs-scalar twin rows for one record.
+
+    Pairs every test ``X`` with its ``X_scalar`` sibling and computes
+    ``speedup = scalar / batched`` from the per-round ``mean_s`` when
+    pytest-benchmark recorded one (``wall_s`` counts *all* rounds, and
+    the round count adapts to the time budget, so only the mean is
+    comparable across twins).  Returns ``(rows, regressed)``; a pair
+    regresses when either side is above the noise floor and the
+    speedup falls below ``min_speedup``.
+    """
+    def _times(record):
+        return {t["test"]: t.get("mean_s", t["wall_s"])
+                for t in record.get("tests", [])}
+
+    walls = _times(current)
+    base_walls = _times(baseline) if baseline else {}
+    rows: List[dict] = []
+    regressed = False
+    for scalar_name in sorted(walls):
+        if not scalar_name.endswith(TWIN_SUFFIX):
+            continue
+        batched_name = scalar_name[: -len(TWIN_SUFFIX)]
+        if batched_name not in walls:
+            continue
+        batched, scalar = walls[batched_name], walls[scalar_name]
+        row = {"test": batched_name, "batched_s": batched,
+               "scalar_s": scalar}
+        if batched > 0:
+            row["speedup"] = round(scalar / batched, 3)
+        if batched_name in base_walls and scalar_name in base_walls \
+                and base_walls[batched_name] > 0:
+            row["baseline_speedup"] = round(
+                base_walls[scalar_name] / base_walls[batched_name], 3)
+        if batched < min_baseline_s and scalar < min_baseline_s:
+            row["status"] = "noise-floor"
+        elif row.get("speedup", 0.0) < min_speedup:
+            row["status"] = "SPEEDUP-LOST"
+            regressed = True
+        else:
+            row["status"] = "ok"
+        rows.append(row)
+    return rows, regressed
+
+
 def compare_records(current: dict, baseline: Optional[dict],
                     budget: float = DEFAULT_BUDGET,
-                    min_baseline_s: float = DEFAULT_MIN_BASELINE_S) -> dict:
+                    min_baseline_s: float = DEFAULT_MIN_BASELINE_S,
+                    min_speedup: float = DEFAULT_MIN_SPEEDUP) -> dict:
     """Per-test and total wall-time comparison of two BENCH records.
 
     A test regresses when its baseline is above the noise floor and
     ``current > baseline * budget``; the record regresses when any test
-    does, or the total does.  Tests carrying per-phase attribution get
-    ``phases`` rows, and a REGRESSED test is localized to the phase
-    whose self time grew the most (``localized_to``).
+    does, or the total does, or a batched/scalar twin pair loses its
+    speedup (see :func:`compare_twins`).  Tests carrying per-phase
+    attribution get ``phases`` rows, and a REGRESSED test is localized
+    to the phase whose self time grew the most (``localized_to``).
     """
     module = current.get("module", "?")
+    twin_rows, twins_regressed = compare_twins(
+        current, baseline, min_speedup=min_speedup,
+        min_baseline_s=min_baseline_s)
     if baseline is None:
         return {"module": module, "status": "no-baseline", "budget": budget,
-                "regressed": False, "tests": [], "total": None}
+                "regressed": twins_regressed, "tests": [], "total": None,
+                "twins": twin_rows}
 
     base_by_test = {t["test"]: t for t in baseline.get("tests", [])}
     tests: List[dict] = []
@@ -182,7 +242,8 @@ def compare_records(current: dict, baseline: Optional[dict],
         total["status"] = "noise-floor"
 
     return {"module": module, "status": "compared", "budget": budget,
-            "regressed": regressed, "tests": tests, "total": total,
+            "regressed": regressed or twins_regressed, "tests": tests,
+            "total": total, "twins": twin_rows,
             "missing_tests": sorted(base_by_test)}
 
 
@@ -190,6 +251,11 @@ def render_comparison(name: str, comparison: dict) -> str:
     lines = [f"== BENCH_{name} (budget {comparison['budget']:.2f}x) =="]
     if comparison["status"] == "no-baseline":
         lines.append("  no committed baseline — recording first trend point")
+        for trow in comparison.get("twins", []):
+            lines.append(f"  {trow['status']:>11}  twin {trow['test']}: "
+                         f"{trow.get('speedup', 0.0):.2f}x speedup "
+                         f"(scalar {trow['scalar_s']:.3f}s / "
+                         f"batched {trow['batched_s']:.3f}s)")
         return "\n".join(lines)
     for row in comparison["tests"]:
         base = row.get("baseline_wall_s")
@@ -212,6 +278,13 @@ def render_comparison(name: str, comparison: dict) -> str:
             marker = (" ← regression localized here"
                       if prow["phase"] == row.get("localized_to") else "")
             lines.append(f"        phase  {prow['phase']}: {pdetail}{marker}")
+    for trow in comparison.get("twins", []):
+        detail = (f"{trow.get('speedup', 0.0):.2f}x speedup "
+                  f"(scalar {trow['scalar_s']:.3f}s / "
+                  f"batched {trow['batched_s']:.3f}s)")
+        if "baseline_speedup" in trow:
+            detail += f", baseline {trow['baseline_speedup']:.2f}x"
+        lines.append(f"  {trow['status']:>11}  twin {trow['test']}: {detail}")
     total = comparison["total"]
     lines.append(f"  {total['status']:>11}  TOTAL: {total['wall_s']:.3f}s vs "
                  f"{total['baseline_wall_s']:.3f}s")
@@ -241,6 +314,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--min-baseline", type=float,
                         default=DEFAULT_MIN_BASELINE_S,
                         help="skip tests whose baseline is shorter than this")
+    parser.add_argument("--min-speedup", type=float,
+                        default=DEFAULT_MIN_SPEEDUP,
+                        help="fail a batched/scalar twin pair whose "
+                             "scalar/batched speedup drops below this")
     parser.add_argument("--report", type=Path, default=None,
                         help="write the full comparison as JSON to this file")
     args = parser.parse_args(argv)
@@ -261,7 +338,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         baseline = load_committed(args.root, name, args.ref)
         comparison = compare_records(current, baseline, budget=args.budget,
-                                     min_baseline_s=args.min_baseline)
+                                     min_baseline_s=args.min_baseline,
+                                     min_speedup=args.min_speedup)
         comparisons[name] = comparison
         print(render_comparison(name, comparison))
         failed = failed or comparison["regressed"]
@@ -272,8 +350,8 @@ def main(argv: Optional[List[str]] = None) -> int:
              "records": comparisons}, indent=2) + "\n")
         print(f"report written to {args.report}")
 
-    print("bench-trend: " + ("REGRESSION (wall time over budget)"
-                             if failed else "ok"))
+    print("bench-trend: " + ("REGRESSION (wall time over budget or "
+                             "twin speedup lost)" if failed else "ok"))
     return 1 if failed else 0
 
 

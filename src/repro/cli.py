@@ -450,7 +450,31 @@ def _validate(args) -> str:
             failed = True
             lines.extend(f"  {r}" for r in report.failures)
 
-    if args.replay:
+    if args.compare_paths:
+        from repro.validation.equivalence import compare_paths
+        from repro.validation.scenarios import ScenarioSpec
+
+        if args.replay:
+            specs = [load_artifact(Path(args.replay))]
+        else:
+            specs = [ScenarioSpec.from_seed(s) for s in _seeds(args.seed)]
+        from repro.validation.fuzz import write_artifact
+
+        for spec in specs:
+            log.info("compare-paths: seed %d", spec.seed)
+            cmp = compare_paths(spec)
+            lines.append(cmp.summary())
+            if not cmp.oracle_passed:
+                lines.append(f"  seed {spec.seed}: oracle FAIL "
+                             f"(batched={cmp.batched_report.passed}, "
+                             f"scalar={cmp.scalar_report.passed})")
+            if not (cmp.passed and cmp.oracle_passed):
+                failed = True
+                path = write_artifact(
+                    Path(args.artifact_dir) / f"compare-seed{spec.seed}.json",
+                    spec, cmp.batched_report)
+                lines.append(f"  artifact: {path}")
+    elif args.replay:
         spec = load_artifact(Path(args.replay))
         _report_lines(f"replay {args.replay} (seed {spec.seed})",
                       run_spec(spec))
@@ -669,6 +693,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "written (default: validation-artifacts)")
     validate.add_argument("--no-shrink", action="store_true",
                           help="skip shrinking failing scenarios")
+    validate.add_argument("--compare-paths", action="store_true",
+                          help="run each seed through BOTH monitor hot "
+                               "paths (batched kernel and scalar "
+                               "per-packet) and differential-compare "
+                               "state digests, register arrays, report "
+                               "streams and oracle verdicts")
     hist = parser.add_argument_group("distribution reports (histograms mode)")
     hist.add_argument("--hist-out", metavar="FILE", default=None,
                       help="write the archived repro-histogram-v1 documents "

@@ -123,6 +123,13 @@ class MonitorConfig:
     # are evicted from the flow table by the control plane.
     idle_intervals_before_evict: int = 10
 
+    # Columnar batched execution of the per-packet hot path (see
+    # repro.core.batch).  Only an override: even when True the monitor
+    # falls back to scalar dispatch whenever a per-packet hook (tracing,
+    # profiling, telemetry, fault injection, the rate meter) needs it.
+    # Set False to force the scalar twin, e.g. for differential testing.
+    batched_path: bool = True
+
     # Optional data-plane rate alerting (trTCM per flow; see
     # repro.core.rate_meter).  Rates are fractions of the bottleneck.
     rate_meter_enabled: bool = False

@@ -228,6 +228,9 @@ class MonitorControlPlane:
     def _tick(self, kind: MetricKind) -> None:
         if not self._running:
             return
+        # Batched data plane: everything mirrored before this tick must
+        # be in the registers before we read them.
+        self.monitor.flush()
         if self._faults is not None and self._faults.cp_tick_stalled(kind.value):
             # A stalled extractor does not read registers this interval;
             # the deltas accumulate and the next tick that does run is

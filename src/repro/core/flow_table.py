@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.netsim.packet import FiveTuple, TCPFlags
+from repro.netsim.packet import F_FIN, F_RST, FiveTuple
 from repro.p4.externs import Digest
 from repro.p4.hashes import crc32_tuple
 from repro.p4.pipeline import PipelineStage, StandardMetadata
@@ -115,7 +115,7 @@ class FlowTableStage(PipelineStage):
             self.flow_bytes.add(slot, hdr.ip_total_len)
             self.flow_pkts.add(slot, 1)
             self.flow_last.write(slot, meta.ingress_timestamp_ns)
-            if hdr.flags & (TCPFlags.FIN | TCPFlags.RST) and not self.flow_fin.read(slot):
+            if hdr.flags & (F_FIN | F_RST) and not self.flow_fin.read(slot):
                 self._terminate(slot, fid, hdr, meta)
 
     def _claim(self, slot: int, fid: int, rid: int, hdr: ParsedHeaders,

@@ -148,6 +148,8 @@ class HistogramExtractor:
         cp = self.cp
         if not cp._running:
             return
+        # Flush batched copies before the bank flip reads the registers.
+        cp.monitor.flush()
         if cp._faults is not None and cp._faults.cp_tick_stalled("histograms"):
             self.ticks_deferred += 1
             self._deferred_pending = True

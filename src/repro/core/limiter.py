@@ -25,7 +25,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Tuple
 
-from repro.netsim.packet import TCPFlags
+from repro.netsim.packet import F_ACK, F_SYN
 from repro.p4.pipeline import PipelineStage, StandardMetadata
 from repro.p4.parser import ParsedHeaders
 from repro.p4.registers import RegisterArray
@@ -53,7 +53,7 @@ class FlightSizeStage(PipelineStage):
             # Data direction: remember the furthest byte put on the wire.
             idx = meta.flow_id & self.mask
             self.high_seq.maximum(idx, (hdr.seq + hdr.payload_len) & 0xFFFFFFFF)
-        elif hdr.flags & TCPFlags.ACK and not hdr.flags & TCPFlags.SYN:
+        elif hdr.flags & F_ACK and not hdr.flags & F_SYN:
             # ACK direction: this packet's *reversed* ID is the data flow.
             idx = meta.rev_flow_id & self.mask
             self.high_ack.maximum(idx, hdr.ack)

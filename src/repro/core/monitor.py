@@ -18,7 +18,8 @@ from typing import Optional, Union
 
 from repro import telemetry
 from repro.netsim.engine import Simulator
-from repro.telemetry import profiling
+from repro.resilience import faults
+from repro.telemetry import profiling, provenance
 from repro.netsim.packet import Packet
 from repro.netsim.tap import MirrorCopy, TapDirection
 from repro.p4.pipeline import P4Pipeline, StandardMetadata
@@ -66,6 +67,25 @@ class P4Monitor:
         _prof = profiling.profiler()
         if _prof is not None:
             self._register_profiler_sources(_prof)
+
+        # Batched hot path (construction-time twin binding, like every
+        # instrumentation subsystem): engaged only when no per-packet
+        # hook demands scalar dispatch.  ``batch_buffer`` doubles as the
+        # engagement signal the TAP's fast mirror path keys on.
+        self.kernel = None
+        self.batch_buffer = None
+        if (sim is not None
+                and self.config.batched_path
+                and self.rate_meter is None
+                and not telemetry.enabled()
+                and _prof is None
+                and provenance.tracer() is None
+                and faults.injector() is None):
+            from repro.core.batch import BatchKernel
+            self.kernel = BatchKernel(self)
+            self.batch_buffer = self.kernel.buf
+            self.receive_copy = self._receive_copy_batched
+            sim.add_flush_hook(self.flush)
 
     def _register_profiler_sources(self, prof) -> None:
         """Op-count sources for the PhaseReport, read lazily at report
@@ -134,6 +154,28 @@ class P4Monitor:
         )
         self.pipeline.process(copy.pkt, meta)
 
+    def _receive_copy_batched(self, copy: MirrorCopy) -> None:
+        """Batched twin of :meth:`receive_copy`: defer pipeline work to
+        the next flush boundary.  ECN is captured now — downstream queues
+        CE-mark the shared ``Packet`` after the mirror point."""
+        pkt = copy.pkt
+        if copy.direction is TapDirection.INGRESS:
+            self.copies_ingress += 1
+            self.batch_buffer.append((pkt, PORT_INGRESS_TAP, copy.timestamp_ns,
+                                      0, pkt.ecn))
+        else:
+            self.copies_egress += 1
+            self.batch_buffer.append((pkt, PORT_EGRESS_TAP, copy.timestamp_ns,
+                                      copy.egress_port_id, pkt.ecn))
+        if len(self.batch_buffer) >= 8192:
+            self.kernel.flush()
+
+    def flush(self) -> None:
+        """Drain any batched copies through the kernel (no-op when the
+        scalar path is bound or the buffer is empty)."""
+        if self.kernel is not None and self.batch_buffer:
+            self.kernel.flush()
+
     def process_packet(
         self,
         packet: Union[Packet, bytes],
@@ -143,6 +185,8 @@ class P4Monitor:
     ) -> StandardMetadata:
         """Direct injection (tests and trace replay).  Returns the packet's
         metadata so callers can inspect flow IDs / queue delay."""
+        if self.kernel is not None and self.batch_buffer:
+            self.kernel.flush()  # keep scalar injection ordered after batched copies
         port = PORT_INGRESS_TAP if direction is TapDirection.INGRESS else PORT_EGRESS_TAP
         meta = StandardMetadata(ingress_port=port, ingress_timestamp_ns=timestamp_ns,
                                 egress_port_id=egress_port_id)

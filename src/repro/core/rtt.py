@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import struct
 
-from repro.netsim.packet import TCPFlags
+from repro.netsim.packet import F_ACK, F_SYN
 from repro.telemetry import provenance
 from repro.p4.hashes import crc32_bytes
 from repro.p4.histogram import HistogramRegister, make_edges
@@ -84,7 +84,7 @@ class RttLossStage(PipelineStage):
         # ACK packet.  SYNs are ignored (handshake RTT is not a data RTT).
         if hdr.payload_len > 0:
             self._process_seq(hdr, meta, now)
-        elif hdr.flags & TCPFlags.ACK and not hdr.flags & TCPFlags.SYN:
+        elif hdr.flags & F_ACK and not hdr.flags & F_SYN:
             self._process_ack(hdr, meta, now)
 
     # -- Seq branch ---------------------------------------------------------------

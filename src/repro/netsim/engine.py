@@ -5,9 +5,17 @@ binary-heap event queue.  Components schedule callbacks with
 :meth:`Simulator.at` / :meth:`Simulator.after`; timers can be cancelled
 through the returned :class:`Event` handle.
 
-The engine follows the guide's advice: a simple, legible hot loop (tuple
-heap entries, no per-event object churn beyond the handle) profiled to be
-the substrate bottleneck only after the physics is right.
+Heap entries are plain tuples ``(time_ns, seq, fn, args, handle)``: the
+strictly increasing sequence number makes ``(time_ns, seq)`` unique, so
+tuple comparison never reaches the third element and sifting stays in C
+(no per-comparison ``Event.__lt__`` dispatch).  ``handle`` is the
+:class:`Event` cancellation token, or ``None`` for the fire-and-forget
+:meth:`Simulator.post` fast path the link/port completion events use.
+
+Batch consumers (the batched P4 monitor path) register drain callbacks
+via :meth:`Simulator.add_flush_hook`; the engine invokes them whenever a
+``run_until``/``run`` drain completes, so state buffered across events
+is settled before control returns to the caller.
 """
 
 from __future__ import annotations
@@ -93,10 +101,12 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: list[Event] = []
+        # (time_ns, seq, fn, args, handle-or-None) tuples; see module doc.
+        self._heap: list[tuple] = []
         self._seq = itertools.count()
         self._events_run = 0
         self._running = False
+        self._flush_hooks: list[Callable[[], None]] = []
         #: Deepest the queue has ever been (scheduler introspection —
         #: `repro_sim_event_queue_hwm`).  Tracked unconditionally: the
         #: cost is one compare per schedule, off the dispatch hot loop.
@@ -160,7 +170,7 @@ class Simulator:
                 f"cannot schedule in the past: t={time_ns} < now={self.now}"
             )
         ev = Event(time_ns, next(self._seq), fn, args)
-        heapq.heappush(self._heap, ev)
+        heapq.heappush(self._heap, (time_ns, ev.seq, fn, args, ev))
         if len(self._heap) > self.queue_hwm:
             self.queue_hwm = len(self._heap)
         return ev
@@ -170,6 +180,44 @@ class Simulator:
         if delay_ns < 0:
             raise ValueError(f"negative delay: {delay_ns}")
         return self.at(self.now + delay_ns, fn, *args)
+
+    def post(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`at`: identical (time, seq) ordering but
+        no :class:`Event` handle, so it cannot be cancelled.  The hot
+        completion events (port tx-done, link arrival) use this to skip
+        the per-event handle allocation."""
+        if time_ns < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: t={time_ns} < now={self.now}"
+            )
+        heapq.heappush(self._heap, (time_ns, next(self._seq), fn, args, None))
+        if len(self._heap) > self.queue_hwm:
+            self.queue_hwm = len(self._heap)
+
+    def post_after(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`after` (see :meth:`post`)."""
+        if delay_ns < 0:
+            raise ValueError(f"negative delay: {delay_ns}")
+        heapq.heappush(self._heap,
+                       (self.now + delay_ns, next(self._seq), fn, args, None))
+        if len(self._heap) > self.queue_hwm:
+            self.queue_hwm = len(self._heap)
+
+    # -- batch flush hooks -------------------------------------------------
+
+    def add_flush_hook(self, fn: Callable[[], None]) -> None:
+        """Register ``fn`` to run every time a ``run``/``run_until`` drain
+        completes.  Batched consumers (the vectorised monitor path) use
+        this to settle buffered per-packet state before the caller can
+        observe it."""
+        self._flush_hooks.append(fn)
+
+    def remove_flush_hook(self, fn: Callable[[], None]) -> None:
+        self._flush_hooks.remove(fn)
+
+    def _run_flush_hooks(self) -> None:
+        for fn in self._flush_hooks:
+            fn()
 
     def every(self, interval_ns: int, fn: Callable[..., Any], *args: Any,
               align: bool = False) -> PeriodicEvent:
@@ -200,21 +248,28 @@ class Simulator:
         if self._prof is not None:
             return self._run_until_profiled(time_ns)
         heap = self._heap
+        heappop = heapq.heappop
         self._running = True
         executed_before = self._events_run
+        executed = 0
         try:
-            while heap and heap[0].time_ns <= time_ns:
-                ev = heapq.heappop(heap)
-                if ev.cancelled:
+            while heap and heap[0][0] <= time_ns:
+                t, _s, fn, args, handle = heappop(heap)
+                if handle is not None and handle.cancelled:
                     continue
-                self.now = ev.time_ns
-                self._events_run += 1
-                ev.fn(*ev.args)
+                self.now = t
+                executed += 1
+                fn(*args)
         finally:
+            # Folded in once per drain: per-event attribute stores are
+            # measurable at this loop's call volume.
+            self._events_run += executed
             self._running = False
             if self._tel_events is not None:
                 self._tel_flush(executed_before)
         self.now = time_ns
+        if self._flush_hooks:
+            self._run_flush_hooks()
 
     def _run_until_profiled(self, time_ns: int) -> None:
         """run_until twin charging each event to its callback's phase cell.
@@ -235,14 +290,13 @@ class Simulator:
         t_prev = pcn()
         n_prev = prof.nested_ns
         try:
-            while heap and heap[0].time_ns <= time_ns:
-                ev = heappop(heap)
-                if ev.cancelled:
+            while heap and heap[0][0] <= time_ns:
+                t, _s, fn, args, handle = heappop(heap)
+                if handle is not None and handle.cancelled:
                     continue
-                self.now = ev.time_ns
+                self.now = t
                 self._events_run += 1
-                fn = ev.fn
-                fn(*ev.args)
+                fn(*args)
                 t_now = pcn()
                 # nested_ns grows monotonically (root frames and block
                 # cells add on close), so it chains like the timestamp.
@@ -264,28 +318,33 @@ class Simulator:
             if self._tel_events is not None:
                 self._tel_flush(executed_before)
         self.now = time_ns
+        if self._flush_hooks:
+            self._run_flush_hooks()
 
     def run(self, max_events: Optional[int] = None) -> None:
         """Run until the event queue drains (or ``max_events`` fire)."""
         if self._prof is not None:
             return self._run_profiled(max_events)
         heap = self._heap
+        heappop = heapq.heappop
         budget = max_events if max_events is not None else float("inf")
         self._running = True
         executed_before = self._events_run
         try:
             while heap and budget > 0:
-                ev = heapq.heappop(heap)
-                if ev.cancelled:
+                t, _s, fn, args, handle = heappop(heap)
+                if handle is not None and handle.cancelled:
                     continue
-                self.now = ev.time_ns
+                self.now = t
                 self._events_run += 1
                 budget -= 1
-                ev.fn(*ev.args)
+                fn(*args)
         finally:
             self._running = False
             if self._tel_events is not None:
                 self._tel_flush(executed_before)
+        if self._flush_hooks:
+            self._run_flush_hooks()
 
     def _run_profiled(self, max_events: Optional[int] = None) -> None:
         """run() twin with per-callback phase attribution (see
@@ -302,14 +361,13 @@ class Simulator:
         n_prev = prof.nested_ns
         try:
             while heap and budget > 0:
-                ev = heappop(heap)
-                if ev.cancelled:
+                t, _s, fn, args, handle = heappop(heap)
+                if handle is not None and handle.cancelled:
                     continue
-                self.now = ev.time_ns
+                self.now = t
                 self._events_run += 1
                 budget -= 1
-                fn = ev.fn
-                fn(*ev.args)
+                fn(*args)
                 t_now = pcn()
                 n_now = prof.nested_ns
                 cell = cells_get(fn)
@@ -325,17 +383,23 @@ class Simulator:
             self._running = False
             if self._tel_events is not None:
                 self._tel_flush(executed_before)
+        if self._flush_hooks:
+            self._run_flush_hooks()
 
     def step(self) -> bool:
-        """Run a single event.  Returns False when the queue is empty."""
+        """Run a single event.  Returns False when the queue is empty.
+
+        Single-stepping bypasses the batch flush hooks — callers that mix
+        ``step()`` with batched consumers should flush those explicitly.
+        """
         heap = self._heap
         while heap:
-            ev = heapq.heappop(heap)
-            if ev.cancelled:
+            t, _s, fn, args, handle = heapq.heappop(heap)
+            if handle is not None and handle.cancelled:
                 continue
-            self.now = ev.time_ns
+            self.now = t
             self._events_run += 1
-            ev.fn(*ev.args)
+            fn(*args)
             return True
         return False
 
@@ -344,7 +408,8 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of live events still queued (excludes cancelled)."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        return sum(1 for entry in self._heap
+                   if entry[4] is None or not entry[4].cancelled)
 
     @property
     def events_run(self) -> int:
@@ -353,6 +418,10 @@ class Simulator:
 
     def peek_time(self) -> Optional[int]:
         """Timestamp of the next live event, or None if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time_ns if self._heap else None
+        heap = self._heap
+        while heap:
+            handle = heap[0][4]
+            if handle is None or not handle.cancelled:
+                break
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None

@@ -94,4 +94,8 @@ class Host(Node):
 
     def send(self, pkt: Packet) -> bool:
         """Transmit out of the NIC.  Returns False if the NIC queue drops."""
-        return self.port().send(pkt)
+        try:
+            nic = self.ports[0]
+        except IndexError:
+            raise RuntimeError(f"host {self.name} has no ports") from None
+        return nic.send(pkt)

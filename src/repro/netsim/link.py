@@ -12,11 +12,11 @@ keep the event count — the simulator's hot path — minimal.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.netsim.engine import Simulator
 from repro.netsim.packet import Packet
-from repro.netsim.units import tx_time_ns
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.netsim.host import Node
@@ -39,6 +39,7 @@ class Port:
         "rate_bps",
         "queue_limit_bytes",
         "link",
+        "peer",
         "_queue",
         "queued_bytes",
         "busy",
@@ -70,6 +71,7 @@ class Port:
         self.rate_bps = rate_bps
         self.queue_limit_bytes = queue_limit_bytes
         self.link: Optional["Link"] = None
+        self.peer: Optional["Port"] = None  # far-end port, set by Link
         self._queue: deque[Packet] = deque()
         self.queued_bytes = 0
         self.busy = False
@@ -121,8 +123,16 @@ class Port:
 
     def _transmit(self, pkt: Packet) -> None:
         self.busy = True
-        tx_ns = tx_time_ns(pkt.wire_len, self.rate_bps)
-        self.sim.after(tx_ns, self._tx_done, pkt)
+        # Inlined tx_time_ns (ceil division): rounding up guarantees a
+        # busy port never emits more than rate_bps.
+        tx_ns = -(-pkt.wire_len * 8_000_000_000 // self.rate_bps)
+        # Inlined sim.post_after: this is one of the two per-hop events
+        # on the simulator's hottest path.
+        sim = self.sim
+        heappush(sim._heap,
+                 (sim.now + tx_ns, next(sim._seq), self._tx_done, (pkt,), None))
+        if len(sim._heap) > sim.queue_hwm:
+            sim.queue_hwm = len(sim._heap)
 
     def _tx_done(self, pkt: Packet) -> None:
         self.tx_packets += 1
@@ -136,8 +146,19 @@ class Port:
         # Egress TAP point: the moment the last bit leaves the switch.
         for mirror in self.egress_mirrors:
             mirror(pkt, now)
-        assert self.link is not None
-        self.link.deliver(pkt, self)
+        link = self.link
+        assert link is not None
+        if link.impairments:
+            link.deliver(pkt, self)
+        else:
+            # Inlined Link.deliver fast path (no impairments): schedule
+            # the far-end arrival directly — the second per-hop event.
+            sim = self.sim
+            heappush(sim._heap,
+                     (now + link.delay_ns, next(sim._seq), link._arrive,
+                      (pkt, self.peer), None))
+            if len(sim._heap) > sim.queue_hwm:
+                sim.queue_hwm = len(sim._heap)
         if self._queue:
             nxt = self._queue.popleft()
             self.queued_bytes -= nxt.wire_len
@@ -196,6 +217,8 @@ class Link:
         self._trace = sim.trace
         a.link = self
         b.link = self
+        a.peer = b
+        b.peer = a
 
     def other(self, port: Port) -> Port:
         if port is self.a:
@@ -207,20 +230,21 @@ class Link:
     def deliver(self, pkt: Packet, from_port: Port) -> None:
         """Carry ``pkt`` to the far end after ``delay_ns`` (+impairments)."""
         extra_delay = 0
-        for imp in self.impairments:
-            verdict = imp.process(pkt)
-            if verdict is None:  # dropped by the impairment
-                self.impairment_drops += 1
-                if self._trace is not None and self._trace.wants(pkt):
-                    self._trace.packet_event(
-                        "netsim", "drop", self.name, pkt, self.sim.now,
-                        cause="impairment")
-                for hook in self.drop_hooks:
-                    hook(pkt, from_port)
-                return
-            extra_delay += verdict
-        peer = self.other(from_port)
-        self.sim.after(self.delay_ns + extra_delay, self._arrive, pkt, peer)
+        if self.impairments:
+            for imp in self.impairments:
+                verdict = imp.process(pkt)
+                if verdict is None:  # dropped by the impairment
+                    self.impairment_drops += 1
+                    if self._trace is not None and self._trace.wants(pkt):
+                        self._trace.packet_event(
+                            "netsim", "drop", self.name, pkt, self.sim.now,
+                            cause="impairment")
+                    for hook in self.drop_hooks:
+                        hook(pkt, from_port)
+                    return
+                extra_delay += verdict
+        self.sim.post_after(self.delay_ns + extra_delay, self._arrive, pkt,
+                            from_port.peer)
 
     def _arrive(self, pkt: Packet, peer: Port) -> None:
         self.delivered += 1

@@ -37,6 +37,19 @@ class TCPFlags(IntFlag):
     CWR = 0x80
 
 
+# Plain-int mirrors of the flag bits for hot-path masking: ``flags & F_ACK``
+# stays on int.__and__, where ``flags & TCPFlags.ACK`` would bounce through
+# IntFlag.__rand__'s enum machinery on every single test.
+F_FIN = 0x01
+F_SYN = 0x02
+F_RST = 0x04
+F_PSH = 0x08
+F_ACK = 0x10
+F_URG = 0x20
+F_ECE = 0x40
+F_CWR = 0x80
+
+
 def ip_to_int(dotted: str) -> int:
     """'10.0.0.1' -> 0x0A000001."""
     parts = dotted.split(".")
@@ -109,10 +122,13 @@ class Packet:
         "flags",
         "window",
         "payload_len",
-        "tcp_options_len",
+        "_tcp_options_len",
+        "data_offset",
+        "ip_total_len",
+        "wire_len",
         "sack",
         "ecn",
-        "int_stack",
+        "_int_stack",
         "created_ns",
     )
 
@@ -162,16 +178,77 @@ class Packet:
         self.dst_port = dst_port
         self.seq = seq & 0xFFFFFFFF
         self.ack = ack & 0xFFFFFFFF
-        self.flags = flags
+        # Stored as a plain int: every hot-path `flags & TCPFlags.X` then
+        # runs int.__and__ instead of IntFlag's enum machinery.
+        self.flags = int(flags)
         self.window = window
         self.payload_len = payload_len
-        self.tcp_options_len = tcp_options_len
+        self._tcp_options_len = tcp_options_len
+        # Derived wire lengths, cached (headers never change size after
+        # construction except through the tcp_options_len setter).
+        self.data_offset = TCP_MIN_DATA_OFFSET + tcp_options_len // 4
+        self.ip_total_len = 4 * IPV4_MIN_IHL + 4 * self.data_offset + payload_len
+        # Bytes occupying the link: Ethernet header + IP total length.
+        # Cached slot, not a property — the port/link hot path reads it
+        # several times per hop.  Recomputed by the tcp_options_len
+        # setter and by the INT transit hop when a telemetry stack rides
+        # between the headers (preamble/IFG/FCS fold into link rates).
+        self.wire_len = ETH_HEADER_LEN + self.ip_total_len
         self.sack = tuple(sack) if sack else None
         self.ecn = ecn
         # In-band telemetry metadata stack (INT-MD over L2, one entry per
         # transit hop).  None when INT is not in use; see repro.p4.int.
-        self.int_stack = None
+        # Direct slot store: the property setter would recompute the
+        # just-cached wire_len for nothing on every construction.
+        self._int_stack = None
         self.created_ns = created_ns
+
+    @classmethod
+    def tcp_fast(
+        cls,
+        src_ip: int,
+        dst_ip: int,
+        src_port: int,
+        dst_port: int,
+        seq: int,
+        ack: int,
+        flags: int,
+        window: int,
+        payload_len: int,
+        ip_id: int,
+        created_ns: int,
+    ) -> "Packet":
+        """Construction fast path for the TCP stack's fixed header shape
+        (no options, no SACK, ECN/ttl defaults).  Skips the kwarg
+        machinery and option validation of ``__init__`` — the single
+        hottest allocation in the simulator.  Fields that grow after
+        construction (SACK blocks, ECN, INT) go through their normal
+        setters on the returned packet."""
+        global _packet_uid
+        _packet_uid += 1
+        p = object.__new__(cls)
+        p.uid = _packet_uid
+        p.src_ip = src_ip
+        p.dst_ip = dst_ip
+        p.proto = PROTO_TCP
+        p.ip_id = ip_id & 0xFFFF
+        p.ttl = 64
+        p.src_port = src_port
+        p.dst_port = dst_port
+        p.seq = seq & 0xFFFFFFFF
+        p.ack = ack & 0xFFFFFFFF
+        p.flags = flags
+        p.window = window
+        p.payload_len = payload_len
+        p._tcp_options_len = 0
+        p.data_offset = TCP_MIN_DATA_OFFSET
+        p.ip_total_len = 40 + payload_len
+        p.wire_len = ETH_HEADER_LEN + 40 + payload_len
+        p.sack = None
+        p.ecn = 0
+        p._int_stack = None
+        p.created_ns = created_ns
+        return p
 
     # -- derived lengths (wire semantics) -----------------------------------
 
@@ -181,35 +258,45 @@ class Packet:
         return IPV4_MIN_IHL
 
     @property
-    def data_offset(self) -> int:
-        """TCP data offset in 32-bit words."""
-        return TCP_MIN_DATA_OFFSET + self.tcp_options_len // 4
+    def tcp_options_len(self) -> int:
+        """TCP options bytes.  Setting this (the SACK path does, after
+        construction) recomputes the cached ``data_offset`` and
+        ``ip_total_len`` wire lengths."""
+        return self._tcp_options_len
 
-    @property
-    def ip_total_len(self) -> int:
-        """IPv4 total length field: IP header + TCP header + payload.
-
-        Algorithm 1 computes the eACK from exactly this field:
-        ``seq + total_len - 4*ihl - 4*data_offset``.
-        """
-        return 4 * self.ihl + 4 * self.data_offset + self.payload_len
+    @tcp_options_len.setter
+    def tcp_options_len(self, value: int) -> None:
+        if value % 4:
+            raise ValueError("TCP options length must be a multiple of 4")
+        self._tcp_options_len = value
+        self.data_offset = TCP_MIN_DATA_OFFSET + value // 4
+        self.ip_total_len = (4 * IPV4_MIN_IHL + 4 * self.data_offset
+                             + self.payload_len)
+        self.recompute_wire_len()
 
     #: On-wire bytes per INT metadata hop entry (INT-MD: 12 B of metadata
     #: amortising the 12 B shim/MD headers across a stack).
     INT_HOP_BYTES = 12
 
-    @property
-    def wire_len(self) -> int:
-        """Bytes occupying the link: Ethernet header + IP total length,
-        plus any in-band telemetry stack riding between them.
-
-        (Preamble/IFG/FCS are folded into link rates; consistent across
-        baseline and monitor so ratios are unaffected.)
-        """
+    def recompute_wire_len(self) -> None:
+        """Refresh the cached ``wire_len`` after a header-size mutation
+        (options resize, INT stack push/strip)."""
         base = ETH_HEADER_LEN + self.ip_total_len
-        if self.int_stack:
-            base += self.INT_HOP_BYTES * len(self.int_stack)
-        return base
+        stack = self._int_stack
+        if stack:
+            base += self.INT_HOP_BYTES * len(stack)
+        self.wire_len = base
+
+    @property
+    def int_stack(self) -> "Optional[list]":
+        return self._int_stack
+
+    @int_stack.setter
+    def int_stack(self, value: "Optional[list]") -> None:
+        # Wrap assigned lists so in-place mutation (the transit hop's
+        # append) keeps the cached wire_len honest.
+        self._int_stack = _IntStack(self, value) if value is not None else None
+        self.recompute_wire_len()
 
     @property
     def five_tuple(self) -> FiveTuple:
@@ -218,7 +305,7 @@ class Packet:
     @property
     def is_pure_ack(self) -> bool:
         """ACK segment carrying no payload (the paper's 'ACK' packet type)."""
-        return self.payload_len == 0 and bool(self.flags & TCPFlags.ACK)
+        return self.payload_len == 0 and bool(self.flags & F_ACK)
 
     @property
     def expected_ack(self) -> int:
@@ -228,9 +315,9 @@ class Packet:
         SYN and FIN consume one sequence number each.
         """
         consumed = self.payload_len
-        if self.flags & TCPFlags.SYN:
+        if self.flags & F_SYN:
             consumed += 1
-        if self.flags & TCPFlags.FIN:
+        if self.flags & F_FIN:
             consumed += 1
         return (self.seq + consumed) & 0xFFFFFFFF
 
@@ -334,8 +421,38 @@ class Packet:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Packet({self.five_tuple}, seq={self.seq}, ack={self.ack}, "
-            f"flags={self.flags!r}, len={self.payload_len})"
+            f"flags={TCPFlags(self.flags)!r}, len={self.payload_len})"
         )
+
+
+class _IntStack(list):
+    """INT hop-entry list bound to its packet: size-changing mutations
+    refresh the packet's cached ``wire_len`` (each entry occupies
+    :attr:`Packet.INT_HOP_BYTES` on the wire)."""
+
+    __slots__ = ("_pkt",)
+
+    def __init__(self, pkt: Packet, items=()) -> None:
+        list.__init__(self, items)
+        self._pkt = pkt
+
+    def append(self, entry) -> None:
+        list.append(self, entry)
+        self._pkt.wire_len += Packet.INT_HOP_BYTES
+
+    def extend(self, entries) -> None:
+        before = len(self)
+        list.extend(self, entries)
+        self._pkt.wire_len += Packet.INT_HOP_BYTES * (len(self) - before)
+
+    def pop(self, index: int = -1):
+        entry = list.pop(self, index)
+        self._pkt.wire_len -= Packet.INT_HOP_BYTES
+        return entry
+
+    def clear(self) -> None:
+        self._pkt.wire_len -= Packet.INT_HOP_BYTES * len(self)
+        list.clear(self)
 
 
 def _parse_sack(options: bytes) -> Optional[tuple]:

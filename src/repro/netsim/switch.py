@@ -38,6 +38,12 @@ class LegacySwitch(Node):
         _prof = profiling.profiler()
         self._prof = (_prof if _prof is not None and _prof.phases
                       and _prof.detail_stage else None)
+        if self._prof is None and type(self).receive is LegacySwitch.receive:
+            # Twin-bind: skip the profiling wrapper for the per-packet
+            # hot path when no stage-detail profiler is attached.  Guarded
+            # so subclasses that override ``receive`` (e.g. INT transit)
+            # keep their own dispatch.
+            self.receive = self._receive  # type: ignore[method-assign]
 
     # -- control ------------------------------------------------------------
 

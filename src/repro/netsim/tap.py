@@ -96,7 +96,7 @@ class OpticalTap:
             raise ValueError("copy loss rate must be in [0, 1)")
         self.sim = sim
         self.switch = switch
-        self.sink = sink
+        self._sink = sink
         self.fiber_delay_ns = fiber_delay_ns
         self.copy_loss_rate = copy_loss_rate
         self._rng = random.Random(seed)
@@ -110,15 +110,62 @@ class OpticalTap:
         self._prof = (_prof if _prof is not None and _prof.phases
                       and _prof.detail_stage else None)
 
-        switch.ingress_mirrors.append(self._mirror_ingress)
+        # Fast mirror path: when the sink is a batching P4Monitor and
+        # nothing on the TAP needs per-copy work (no loss injection, no
+        # fibre delay, no trace, no stage profiling), mirror callbacks
+        # append buffer tuples directly — no MirrorCopy, no sink call.
+        # ECN is captured at mirror time; queues CE-mark the shared
+        # Packet after this point.
+        owner = getattr(sink, "__self__", None)
+        self._fast_buf = None
+        self._fast_owner = None
+        if (copy_loss_rate == 0.0 and fiber_delay_ns == 0
+                and self._trace is None and self._prof is None
+                and owner is not None):
+            buf = getattr(owner, "batch_buffer", None)
+            if buf is not None:
+                self._fast_buf = buf
+                self._fast_owner = owner
+
+        if self._fast_buf is not None:
+            switch.ingress_mirrors.append(self._mirror_ingress_fast)
+        else:
+            switch.ingress_mirrors.append(self._mirror_ingress)
         ports = list(egress_ports) if egress_ports is not None else switch.ports
         self.egress_ports = ports
+        self._egress_cbs: list = []
         for port_id, port in enumerate(ports):
             if port.owner is not switch:
                 raise ValueError(f"port {port.name} is not on switch {switch.name}")
-            port.egress_mirrors.append(
-                lambda pkt, ts, _pid=port_id: self._mirror_egress(pkt, ts, _pid)
-            )
+            if self._fast_buf is not None:
+                cb = lambda pkt, ts, _pid=port_id: self._mirror_egress_fast(pkt, ts, _pid)
+            else:
+                cb = lambda pkt, ts, _pid=port_id: self._mirror_egress(pkt, ts, _pid)
+            self._egress_cbs.append((port, port_id, cb))
+            port.egress_mirrors.append(cb)
+
+    # -- sink rebinding -------------------------------------------------------
+
+    @property
+    def sink(self) -> MirrorSink:
+        return self._sink
+
+    @sink.setter
+    def sink(self, value: MirrorSink) -> None:
+        """Replacing the sink (e.g. a tee that also captures to pcap)
+        disengages the fast mirror path — every copy must flow through
+        the new sink callable again."""
+        self._sink = value
+        if self._fast_buf is None:
+            return
+        self._fast_owner.flush()
+        self._fast_buf = None
+        self._fast_owner = None
+        mirrors = self.switch.ingress_mirrors
+        mirrors[mirrors.index(self._mirror_ingress_fast)] = self._mirror_ingress
+        for port, port_id, old_cb in self._egress_cbs:
+            cb = lambda pkt, ts, _pid=port_id: self._mirror_egress(pkt, ts, _pid)
+            port.egress_mirrors[port.egress_mirrors.index(old_cb)] = cb
 
     # -- mirror callbacks -----------------------------------------------------
 
@@ -130,6 +177,22 @@ class OpticalTap:
         self.copies_egress += 1
         self._ship(MirrorCopy(pkt, TapDirection.EGRESS, ts_ns,
                               egress_port_id=port_id))
+
+    def _mirror_ingress_fast(self, pkt: Packet, ts_ns: int) -> None:
+        self.copies_ingress += 1
+        mon = self._fast_owner
+        mon.copies_ingress += 1
+        self._fast_buf.append((pkt, 0, ts_ns, 0, pkt.ecn))
+        if len(self._fast_buf) >= 8192:
+            mon.kernel.flush()
+
+    def _mirror_egress_fast(self, pkt: Packet, ts_ns: int, port_id: int) -> None:
+        self.copies_egress += 1
+        mon = self._fast_owner
+        mon.copies_egress += 1
+        self._fast_buf.append((pkt, 1, ts_ns, port_id, pkt.ecn))
+        if len(self._fast_buf) >= 8192:
+            mon.kernel.flush()
 
     def _ship(self, copy: MirrorCopy) -> None:
         if self.copy_loss_rate > 0.0 and self._rng.random() < self.copy_loss_rate:

@@ -76,6 +76,7 @@ class IntTransitSwitch(LegacySwitch):
                 pkt.int_stack = [entry]
             else:
                 pkt.int_stack.append(entry)
+            pkt.recompute_wire_len()
             self.int_entries_written += 1
         out.send(pkt)
 
@@ -116,6 +117,7 @@ class IntSink:
             return
         hops = tuple(pkt.int_stack)
         pkt.int_stack = None  # stripped before the application sees it
+        pkt.recompute_wire_len()
         self.collector.ingest(IntPostcard(
             timestamp_ns=ts_ns,
             flow_key=(pkt.src_ip, pkt.dst_ip, pkt.src_port, pkt.dst_port, pkt.proto),

@@ -16,10 +16,11 @@ from typing import Optional, Union
 
 from repro.netsim.packet import (
     ETHERTYPE_IPV4,
+    F_FIN,
+    F_SYN,
     PROTO_TCP,
     FiveTuple,
     Packet,
-    TCPFlags,
 )
 from repro.telemetry import provenance
 
@@ -61,9 +62,9 @@ class ParsedHeaders:
     def expected_ack(self) -> int:
         """eACK per Algorithm 1 (SYN/FIN each consume a sequence number)."""
         consumed = self.payload_len
-        if self.flags & TCPFlags.SYN:
+        if self.flags & F_SYN:
             consumed += 1
-        if self.flags & TCPFlags.FIN:
+        if self.flags & F_FIN:
             consumed += 1
         return (self.seq + consumed) & 0xFFFFFFFF
 

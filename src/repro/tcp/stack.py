@@ -25,7 +25,16 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.netsim.engine import Event, Simulator
 from repro.netsim.host import Host
-from repro.netsim.packet import PROTO_TCP, FiveTuple, Packet, TCPFlags
+from repro.netsim.packet import (
+    F_ACK,
+    F_CWR,
+    F_ECE,
+    F_FIN,
+    F_SYN,
+    PROTO_TCP,
+    FiveTuple,
+    Packet,
+)
 from repro.netsim.units import NS_PER_S, millis, seconds
 from repro.tcp.cc import CongestionControl, make_cc
 
@@ -106,6 +115,9 @@ class TcpConnection:
         self.remote_port = remote_port
         self.mss = mss
         self.cc = cc
+        # Cached once: whether the controller models its own pacing rate
+        # (BBR).  Saves a getattr per _pacing_rate_bps call on the hot path.
+        self._cc_pacing_fn = getattr(cc, "pacing_rate_bps", None)
         self.rcv_buf_bytes = rcv_buf_bytes
         self.pacing_bps = pacing_bps
         self.is_server = is_server
@@ -137,6 +149,8 @@ class TcpConnection:
         self._srtt: Optional[float] = None
         self._rttvar: float = 0.0
         self._rto_timer: Optional[Event] = None
+        self._rto_deadline: Optional[int] = None
+        self._rto_fire_at = 0
         self._rtt_sample_end: Optional[int] = None
         self._rtt_sample_time = 0
 
@@ -191,9 +205,9 @@ class TcpConnection:
             raise RuntimeError(f"connect() in state {self.state}")
         self.state = TcpState.SYN_SENT
         self.stats.start_ns = self.sim.now
-        syn_flags = TCPFlags.SYN
+        syn_flags = F_SYN
         if self.ecn_enabled:
-            syn_flags |= TCPFlags.ECE | TCPFlags.CWR  # RFC 3168 negotiation
+            syn_flags |= F_ECE | F_CWR  # RFC 3168 negotiation
         self._send_ctrl(syn_flags, seq=self.iss)
         self.snd_nxt = self.iss + 1
         self._arm_rto()
@@ -237,33 +251,33 @@ class TcpConnection:
 
     def _make_packet(
         self,
-        flags: TCPFlags,
+        flags: int,
         seq: int,
         ack: int = 0,
         payload_len: int = 0,
     ) -> Packet:
         self._ip_id = (self._ip_id + 1) & 0xFFFF
-        return Packet(
-            src_ip=self.host.ip,
-            dst_ip=self.remote_ip,
-            src_port=self.local_port,
-            dst_port=self.remote_port,
-            seq=seq,
-            ack=ack,
-            flags=flags,
-            window=self.rcv_buf_bytes if self.rcv_buf_bytes <= 0xFFFFFFFF else 0xFFFFFFFF,
-            payload_len=payload_len,
-            ip_id=self._ip_id,
-            created_ns=self.sim.now,
+        return Packet.tcp_fast(
+            self.host.ip,
+            self.remote_ip,
+            self.local_port,
+            self.remote_port,
+            seq,
+            ack,
+            flags,
+            self.rcv_buf_bytes if self.rcv_buf_bytes <= 0xFFFFFFFF else 0xFFFFFFFF,
+            payload_len,
+            self._ip_id,
+            self.sim.now,
         )
 
-    def _send_ctrl(self, flags: TCPFlags, seq: int, ack: int = 0) -> None:
+    def _send_ctrl(self, flags: int, seq: int, ack: int = 0) -> None:
         self.host.send(self._make_packet(flags, seq=seq, ack=ack))
 
     def _send_segment(self, seq: int, length: int, retransmit: bool) -> None:
-        flags = TCPFlags.ACK
+        flags = F_ACK
         if self._send_cwr:
-            flags |= TCPFlags.CWR  # confirm the ECN-triggered rate cut
+            flags |= F_CWR  # confirm the ECN-triggered rate cut
             self._send_cwr = False
         pkt = self._make_packet(flags, seq=seq, ack=self.rcv_nxt, payload_len=length)
         if self._ecn_on:
@@ -286,17 +300,23 @@ class TcpConnection:
         if self.state is not TcpState.ESTABLISHED:
             return
         now = self.sim.now
+        # Loop invariants, hoisted: nothing inside the send loop moves
+        # snd_una, the scoreboard, cwnd, the pacing rate or the peer
+        # window — only snd_nxt advances, so in-flight is tracked
+        # incrementally.  SACKed bytes have left the network; exclude
+        # them from the in-flight estimate (RFC 6675 'pipe').
+        inflight = self.snd_nxt - self.snd_una
+        if self._sacked:
+            inflight -= sum(e - s for s, e in self._sacked)
+        window = min(self.cc.cwnd_bytes + self._recovery_inflate,
+                     self.peer_rwnd)
+        pace_rate = self._pacing_rate_bps()
         while True:
-            # SACKed bytes have left the network; exclude them from the
-            # in-flight estimate (RFC 6675 'pipe').
-            inflight = self.flight_bytes - self._sacked_bytes()
-            window = self.effective_window
             if inflight >= window:
                 break
             remaining = self.data_end - max(self.snd_nxt, self._data_start)
             if remaining <= 0:
                 break
-            pace_rate = self._pacing_rate_bps()
             if pace_rate is not None and now < self._next_pace_ns:
                 self._schedule_pace()
                 return
@@ -310,6 +330,10 @@ class TcpConnection:
                         jumped = True
                         break
                 if jumped:
+                    # The jumped-over range is SACKed, so in-flight is
+                    # unchanged; re-derive to stay exact.
+                    inflight = self.snd_nxt - self.snd_una
+                    inflight -= sum(e - s for s, e in self._sacked)
                     continue
             length = min(self.mss, remaining)
             if self.snd_nxt < self._highest_sent and self._sacked:
@@ -332,9 +356,10 @@ class TcpConnection:
             is_rtx = self.snd_nxt + length <= self._highest_sent
             self._send_segment(self.snd_nxt, length, retransmit=is_rtx)
             self.snd_nxt += length
+            inflight += length
             if self.snd_nxt > self._highest_sent:
                 self._highest_sent = self.snd_nxt
-            if self._rto_timer is None:
+            if self._rto_deadline is None:
                 self._arm_rto()
             if pace_rate is not None:
                 interval = length * 8 * NS_PER_S // pace_rate
@@ -349,9 +374,8 @@ class TcpConnection:
             return self.pacing_bps
         if not self.auto_pacing:
             return None
-        cc_rate = getattr(self.cc, "pacing_rate_bps", None)
-        if cc_rate is not None:
-            rate = cc_rate()
+        if self._cc_pacing_fn is not None:
+            rate = self._cc_pacing_fn()
             if rate is not None:
                 return rate
         if self._srtt is None or self._srtt <= 0:
@@ -364,7 +388,7 @@ class TcpConnection:
             return
         if self.snd_nxt >= self.data_end:
             self._fin_seq = self.snd_nxt
-            self._send_ctrl(TCPFlags.FIN | TCPFlags.ACK, seq=self.snd_nxt, ack=self.rcv_nxt)
+            self._send_ctrl(F_FIN | F_ACK, seq=self.snd_nxt, ack=self.rcv_nxt)
             self.snd_nxt += 1
             self.state = TcpState.FIN_SENT
             self._arm_rto()
@@ -382,21 +406,44 @@ class TcpConnection:
     # -------------------------------------------------------------- RTO path
 
     def _arm_rto(self) -> None:
-        self._cancel_rto()
-        self._rto_timer = self.sim.after(self._rto_ns * self._rto_backoff, self._on_rto)
+        deadline = self.sim.now + self._rto_ns * self._rto_backoff
+        self._rto_deadline = deadline
+        # Lazy timer (hot path): every cumulative ACK re-arms the RTO, so
+        # cancelling and re-allocating an Event per ACK dominates timer
+        # cost.  Instead a pending timer that fires no later than the new
+        # deadline is left alone and re-armed on expiry; it is replaced
+        # only when the deadline moved *earlier* (backoff reset).
+        if self._rto_timer is not None:
+            if self._rto_fire_at <= deadline:
+                return
+            self._rto_timer.cancel()
+        self._rto_fire_at = deadline
+        self._rto_timer = self.sim.at(deadline, self._rto_expire)
 
     def _cancel_rto(self) -> None:
-        if self._rto_timer is not None:
-            self._rto_timer.cancel()
-            self._rto_timer = None
+        # Lazy: just drop the deadline; an outstanding timer no-ops.
+        self._rto_deadline = None
+
+    def _rto_expire(self) -> None:
+        self._rto_timer = None
+        deadline = self._rto_deadline
+        if deadline is None:
+            return  # cancelled since it was armed
+        if self.sim.now < deadline:
+            # The deadline was pushed out by ACKs after this timer was
+            # scheduled; chase it.
+            self._rto_fire_at = deadline
+            self._rto_timer = self.sim.at(deadline, self._rto_expire)
+            return
+        self._rto_deadline = None
+        self._on_rto()
 
     def _on_rto(self) -> None:
-        self._rto_timer = None
         now = self.sim.now
         if self.state is TcpState.SYN_SENT:
             self.stats.rto_events += 1
             self._rto_backoff = min(self._rto_backoff * 2, 64)
-            self._send_ctrl(TCPFlags.SYN, seq=self.iss)
+            self._send_ctrl(F_SYN, seq=self.iss)
             self._arm_rto()
             return
         if self.snd_una >= self.snd_nxt:
@@ -414,7 +461,7 @@ class TcpConnection:
         self._rtx_next = self.snd_una
         # Go-back-N: rewind and retransmit the first unacked segment.
         if self._fin_seq is not None and self.snd_una >= self._fin_seq:
-            self._send_ctrl(TCPFlags.FIN | TCPFlags.ACK, seq=self._fin_seq, ack=self.rcv_nxt)
+            self._send_ctrl(F_FIN | F_ACK, seq=self._fin_seq, ack=self.rcv_nxt)
         else:
             self.snd_nxt = max(self.snd_una, self._data_start)
             if self._fin_seq is not None:
@@ -434,19 +481,19 @@ class TcpConnection:
         now = self.sim.now
         flags = pkt.flags
 
-        if self.state is TcpState.CLOSED and self.is_server and flags & TCPFlags.SYN:
+        if self.state is TcpState.CLOSED and self.is_server and flags & F_SYN:
             self._handle_syn(pkt)
             return
         if self.state is TcpState.SYN_SENT:
-            if flags & TCPFlags.SYN and flags & TCPFlags.ACK and pkt.ack == self.iss + 1:
+            if flags & F_SYN and flags & F_ACK and pkt.ack == self.iss + 1:
                 self._handle_synack(pkt)
             return
         if self.state is TcpState.SYN_RCVD:
-            if flags & TCPFlags.SYN and not flags & TCPFlags.ACK:
+            if flags & F_SYN and not flags & F_ACK:
                 # Duplicate SYN (our SYN-ACK was lost): resend it.
-                self._send_ctrl(TCPFlags.SYN | TCPFlags.ACK, seq=self.iss, ack=self.rcv_nxt)
+                self._send_ctrl(F_SYN | F_ACK, seq=self.iss, ack=self.rcv_nxt)
                 return
-            if flags & TCPFlags.ACK and pkt.ack == self.iss + 1:
+            if flags & F_ACK and pkt.ack == self.iss + 1:
                 self.state = TcpState.ESTABLISHED
                 self.stats.established_ns = now
                 self.snd_una = self.iss + 1
@@ -456,17 +503,17 @@ class TcpConnection:
                     cb(self)
             # fall through: the handshake ACK may carry data in theory; ours
             # never does.
-            if pkt.payload_len == 0 and not flags & TCPFlags.FIN:
+            if pkt.payload_len == 0 and not flags & F_FIN:
                 return
 
         if self.state in (TcpState.CLOSED, TcpState.DONE):
             return
 
-        if flags & TCPFlags.ACK:
+        if flags & F_ACK:
             self._process_ack(pkt)
         if pkt.payload_len > 0:
             self._process_data(pkt)
-        if flags & TCPFlags.FIN:
+        if flags & F_FIN:
             self._process_fin(pkt)
 
     # -- handshake -------------------------------------------------------------
@@ -476,16 +523,16 @@ class TcpConnection:
         self.stats.start_ns = self.sim.now
         self.rcv_nxt = pkt.seq + 1
         self.peer_rwnd = pkt.window
-        synack = TCPFlags.SYN | TCPFlags.ACK
-        if self.ecn_enabled and (pkt.flags & TCPFlags.ECE) and (pkt.flags & TCPFlags.CWR):
+        synack = F_SYN | F_ACK
+        if self.ecn_enabled and (pkt.flags & F_ECE) and (pkt.flags & F_CWR):
             self._ecn_on = True
-            synack |= TCPFlags.ECE
+            synack |= F_ECE
         self._send_ctrl(synack, seq=self.iss, ack=self.rcv_nxt)
 
     def _handle_synack(self, pkt: Packet) -> None:
         self.state = TcpState.ESTABLISHED
         self.stats.established_ns = self.sim.now
-        if self.ecn_enabled and pkt.flags & TCPFlags.ECE:
+        if self.ecn_enabled and pkt.flags & F_ECE:
             self._ecn_on = True
         self.rcv_nxt = pkt.seq + 1
         self.snd_una = self.iss + 1
@@ -494,7 +541,7 @@ class TcpConnection:
         self.peer_rwnd = pkt.window
         self._rto_backoff = 1
         self._cancel_rto()
-        self._send_ctrl(TCPFlags.ACK, seq=self.snd_nxt, ack=self.rcv_nxt)
+        self._send_ctrl(F_ACK, seq=self.snd_nxt, ack=self.rcv_nxt)
         for cb in self.on_established:
             cb(self)
         self._maybe_send()
@@ -509,7 +556,7 @@ class TcpConnection:
             self._merge_sack(pkt.sack)
         if (
             self._ecn_on
-            and pkt.flags & TCPFlags.ECE
+            and pkt.flags & F_ECE
             and self.snd_una > self._ecn_react_seq
         ):
             # RFC 3168: one multiplicative decrease per window of data.
@@ -566,7 +613,7 @@ class TcpConnection:
             ack == self.snd_una
             and pkt.payload_len == 0
             and self.snd_nxt > self.snd_una
-            and not pkt.flags & (TCPFlags.SYN | TCPFlags.FIN)
+            and not pkt.flags & (F_SYN | F_FIN)
         ):
             self._dupacks += 1
             if self._dupacks == self.DUPACK_THRESHOLD and not self._in_recovery:
@@ -670,7 +717,7 @@ class TcpConnection:
 
     def _retransmit_front(self) -> None:
         if self._fin_seq is not None and self.snd_una == self._fin_seq:
-            self._send_ctrl(TCPFlags.FIN | TCPFlags.ACK, seq=self._fin_seq, ack=self.rcv_nxt)
+            self._send_ctrl(F_FIN | F_ACK, seq=self._fin_seq, ack=self.rcv_nxt)
             return
         length = min(self.mss, self.snd_nxt - self.snd_una, self.data_end - self.snd_una)
         if length > 0:
@@ -694,7 +741,7 @@ class TcpConnection:
             if pkt.ecn == Packet.ECN_CE:
                 self._ecn_echo = True
                 self.stats.ce_received += 1
-            if pkt.flags & TCPFlags.CWR:
+            if pkt.flags & F_CWR:
                 self._ecn_echo = False
         seq = self._unwrap_seq(pkt.seq)
         end = seq + pkt.payload_len
@@ -775,9 +822,9 @@ class TcpConnection:
             sack = tuple(
                 (s & 0xFFFFFFFF, e & 0xFFFFFFFF) for s, e in self._ooo[:3]
             )
-        ack_flags = TCPFlags.ACK
+        ack_flags = F_ACK
         if self._ecn_echo:
-            ack_flags |= TCPFlags.ECE
+            ack_flags |= F_ECE
         pkt = self._make_packet(ack_flags, seq=self.snd_nxt, ack=self.rcv_nxt)
         if sack:
             pkt.sack = sack
@@ -800,7 +847,7 @@ class TcpConnection:
             else:
                 self.state = TcpState.CLOSE_WAIT
                 # Passive close: acknowledge and close our (dataless) side.
-                self._send_ctrl(TCPFlags.FIN | TCPFlags.ACK, seq=self.snd_nxt, ack=self.rcv_nxt)
+                self._send_ctrl(F_FIN | F_ACK, seq=self.snd_nxt, ack=self.rcv_nxt)
                 self.snd_nxt += 1
                 self._finish()
         else:
@@ -848,7 +895,7 @@ class TcpHostStack:
         if conn is not None:
             conn.deliver(pkt)
             return
-        if pkt.flags & TCPFlags.SYN and not pkt.flags & TCPFlags.ACK:
+        if pkt.flags & F_SYN and not pkt.flags & F_ACK:
             params = self._listeners.get(pkt.dst_port)
             if params is not None:
                 conn = self._accept(pkt, params)

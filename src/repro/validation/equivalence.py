@@ -1,0 +1,164 @@
+"""Scalar ↔ batched path equivalence harness.
+
+The batched kernel (:mod:`repro.core.batch`) is a construction-time twin
+of the scalar per-packet pipeline: same scenario in, bit-identical
+data-plane state and report streams out.  :func:`compare_paths` enforces
+that contract end to end — it builds one scenario twice (``batched_path``
+True/False), runs both, and compares
+
+- the SHA-256 :meth:`~repro.p4.runtime.P4Program.state_digest`,
+- every register / sketch / counter / histogram-bank array in
+  :meth:`~repro.p4.runtime.P4Program.state_snapshot`,
+- every archived report stream the control plane keeps (flow samples per
+  metric class, aggregates, microbursts, terminations, limiter reports,
+  histogram reports, alerts), and
+- the differential-oracle verdicts of both runs (overall and per check).
+
+Used by ``tests/validation/test_batch_equivalence.py`` and by
+``repro-experiments validate --compare-paths``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.validation.scenarios import ScenarioSpec, ValidationRun
+
+#: Control-plane archive attributes compared record-by-record (the
+#: per-metric ``flow_samples`` dict is expanded separately).
+_STREAMS = ("jitter_samples", "aggregate_samples", "microbursts",
+            "terminations", "limiter_reports", "histogram_reports")
+
+
+@dataclass
+class PathComparison:
+    """Outcome of one batched-vs-scalar differential run."""
+
+    seed: int
+    checks: int = 0
+    mismatches: List[str] = field(default_factory=list)
+    batched_run: Optional[ValidationRun] = None
+    scalar_run: Optional[ValidationRun] = None
+    batched_report: Optional[object] = None
+    scalar_report: Optional[object] = None
+
+    @property
+    def passed(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def oracle_passed(self) -> bool:
+        """Both paths green against ground truth (independent of whether
+        they agree with each other)."""
+        return bool(self.batched_report and self.batched_report.passed
+                    and self.scalar_report and self.scalar_report.passed)
+
+    def summary(self) -> str:
+        head = (f"seed {self.seed}: "
+                f"{'EQUIVALENT' if self.passed else 'DIVERGED'} "
+                f"({self.checks} checks)")
+        if self.mismatches:
+            head += "\n" + "\n".join(f"  {m}" for m in self.mismatches)
+        return head
+
+
+def _compare_stream(cmp: PathComparison, name: str,
+                    batched: list, scalar: list) -> None:
+    cmp.checks += 1
+    if len(batched) != len(scalar):
+        cmp.mismatches.append(
+            f"{name}: {len(batched)} records batched vs {len(scalar)} scalar")
+        return
+    for i, (b, s) in enumerate(zip(batched, scalar)):
+        if b != s:
+            cmp.mismatches.append(f"{name}[{i}]: {b!r} != {s!r}")
+            return
+
+
+def compare_paths(spec: ScenarioSpec,
+                  run_hooks: Optional[Tuple] = None) -> PathComparison:
+    """Run ``spec`` through both hot paths and differential-compare them.
+
+    ``run_hooks`` optionally carries ``(batched_hook, scalar_hook)``
+    callables applied to the built :class:`ValidationRun` before it runs
+    — the mutation tests use the batched hook to corrupt kernel lanes
+    while the scalar reference stays clean.
+    """
+    b_hook, s_hook = run_hooks if run_hooks is not None else (None, None)
+    runs = {}
+    reports = {}
+    for batched, hook in ((True, b_hook), (False, s_hook)):
+        run = spec.clone(batched_path=batched).build()
+        if batched and run.scenario.monitor.kernel is None:
+            raise RuntimeError(
+                "batched path did not engage — a per-packet hook "
+                "(trace/profile/fault/telemetry) is active in this process")
+        if hook is not None:
+            hook(run)
+        run.run()
+        reports[batched] = run.check()
+        runs[batched] = run
+    cmp = PathComparison(seed=spec.seed,
+                         batched_run=runs[True], scalar_run=runs[False],
+                         batched_report=reports[True],
+                         scalar_report=reports[False])
+
+    # Whole-state digest first: one hash that covers every register bit.
+    b_prog = runs[True].scenario.monitor.program
+    s_prog = runs[False].scenario.monitor.program
+    cmp.checks += 1
+    digests_equal = b_prog.state_digest() == s_prog.state_digest()
+    if not digests_equal:
+        cmp.mismatches.append("state_digest: sha256 differs")
+
+    # Array-level localisation (also the detail when the digest differs).
+    b_state = b_prog.state_snapshot()
+    s_state = s_prog.state_snapshot()
+    cmp.checks += 1
+    if set(b_state) != set(s_state):
+        cmp.mismatches.append(
+            f"state_snapshot keys differ: "
+            f"{sorted(set(b_state) ^ set(s_state))}")
+    else:
+        for key in sorted(b_state):
+            cmp.checks += 1
+            b_arr, s_arr = b_state[key], s_state[key]
+            if b_arr.shape != s_arr.shape:
+                cmp.mismatches.append(
+                    f"{key}: shape {b_arr.shape} vs {s_arr.shape}")
+            elif not np.array_equal(b_arr, s_arr):
+                bad = np.flatnonzero(
+                    np.ravel(b_arr) != np.ravel(s_arr))[:4].tolist()
+                cmp.mismatches.append(
+                    f"{key}: {len(bad)}+ cells differ (first flat "
+                    f"indices {bad})")
+
+    # Archived report streams.
+    b_cp = runs[True].scenario.control_plane
+    s_cp = runs[False].scenario.control_plane
+    for kind in b_cp.flow_samples:
+        _compare_stream(cmp, f"flow_samples[{kind.value}]",
+                        b_cp.flow_samples[kind], s_cp.flow_samples[kind])
+    for name in _STREAMS:
+        _compare_stream(cmp, name, getattr(b_cp, name), getattr(s_cp, name))
+    _compare_stream(cmp, "alerts", b_cp.alerts.history, s_cp.alerts.history)
+
+    # Oracle verdicts: both reports must agree check-for-check.
+    cmp.checks += 1
+    if reports[True].passed != reports[False].passed:
+        cmp.mismatches.append(
+            f"oracle verdict: batched passed={reports[True].passed} "
+            f"scalar passed={reports[False].passed}")
+    b_checks = {(r.metric, r.subject): r.passed
+                for r in reports[True].results}
+    s_checks = {(r.metric, r.subject): r.passed
+                for r in reports[False].results}
+    cmp.checks += 1
+    if b_checks != s_checks:
+        diff = [k for k in (set(b_checks) | set(s_checks))
+                if b_checks.get(k) != s_checks.get(k)][:4]
+        cmp.mismatches.append(f"oracle checks differ: {diff}")
+    return cmp

@@ -56,6 +56,12 @@ class FuzzOutcome:
 
 def run_spec(spec: ScenarioSpec, run_hook: Optional[RunHook] = None) -> ValidationReport:
     """Build, run and check one scenario spec."""
+    if run_hook is not None and spec.batched_path:
+        # A run hook instruments per-packet objects (the mutation
+        # harness patches register methods) — that demands the scalar
+        # twin, the same rule the monitor's construction-time gate
+        # applies to trace/profile/fault/telemetry hooks.
+        spec = spec.clone(batched_path=False)
     run = spec.build()
     if run_hook is not None:
         run_hook(run)

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.netsim.observer import EventStream, NetEvent, NetEventKind
-from repro.netsim.packet import PROTO_TCP, FiveTuple, Packet, TCPFlags
+from repro.netsim.packet import F_ACK, F_SYN, PROTO_TCP, FiveTuple, Packet
 
 
 @dataclass
@@ -182,7 +182,7 @@ class GroundTruthOracle:
             # Path-truth stash: overwriting on retransmission (the eventual
             # ACK answers the latest copy actually delivered).
             self._eack[key] = ts_ns
-        elif pkt.flags & TCPFlags.ACK and not pkt.flags & TCPFlags.SYN:
+        elif pkt.flags & F_ACK and not pkt.flags & F_SYN:
             stashed = self._eack.pop((ft, pkt.ack), None)
             if stashed is not None:
                 rtt = ts_ns - stashed

@@ -104,6 +104,11 @@ class ScenarioSpec:
     long_flow_bytes: int = 50_000
     cms_width: int = 4096
     histograms: bool = False
+    #: Which monitor hot path to bind at construction (True = batched
+    #: kernel, False = scalar per-packet dispatch).  The differential
+    #: oracle never sees the difference — that is the equivalence
+    #: contract tests/validation/test_batch_equivalence.py enforces.
+    batched_path: bool = True
     flows: List[FlowSpec] = field(default_factory=list)
     losses: List[LossSpec] = field(default_factory=list)
     jitters: List[JitterSpec] = field(default_factory=list)
@@ -235,6 +240,7 @@ class ScenarioSpec:
                 "long_flow_bytes": self.long_flow_bytes,
                 "cms_width": self.cms_width,
                 "histograms_enabled": self.histograms,
+                "batched_path": self.batched_path,
             },
         )
         scenario = Scenario(config, with_perfsonar=False,

@@ -1,0 +1,48 @@
+"""BatchKernel internals (the columnar hot path's own contracts).
+
+The end-to-end semantics are pinned by the batched-vs-scalar
+equivalence harness (tests/validation/test_batch_equivalence.py); the
+tests here cover the kernel's numeric building blocks directly, where
+a bit-level divergence would otherwise surface only as an opaque
+digest mismatch.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batch import crc32_rows
+
+
+def _parity(mat: np.ndarray) -> None:
+    got = crc32_rows(mat)
+    assert got.dtype == np.uint32
+    expected = [zlib.crc32(bytes(row)) & 0xFFFFFFFF for row in mat]
+    assert got.tolist() == expected
+
+
+def test_crc32_rows_matches_zlib_on_signature_widths():
+    """The kernel hashes 8-byte stash signatures and 20-byte queue-pair
+    layouts; both widths must be bit-identical to zlib.crc32 per row."""
+    rng = np.random.default_rng(0)
+    for width in (8, 20):
+        _parity(rng.integers(0, 256, size=(64, width), dtype=np.uint8))
+
+
+def test_crc32_rows_edge_rows():
+    _parity(np.zeros((3, 8), dtype=np.uint8))
+    _parity(np.full((3, 8), 0xFF, dtype=np.uint8))
+    # single row, and an empty batch
+    _parity(np.arange(20, dtype=np.uint8).reshape(1, 20))
+    assert crc32_rows(np.empty((0, 8), dtype=np.uint8)).shape == (0,)
+
+
+@settings(deadline=None, max_examples=50)
+@given(rows=st.lists(st.binary(min_size=8, max_size=8),
+                     min_size=1, max_size=32))
+def test_crc32_rows_matches_zlib_property(rows):
+    mat = np.frombuffer(b"".join(rows), dtype=np.uint8).reshape(len(rows), 8)
+    _parity(mat)

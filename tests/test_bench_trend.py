@@ -8,6 +8,7 @@ import pytest
 from benchmarks.trend import (
     compare_phases,
     compare_records,
+    compare_twins,
     discover_names,
     load_committed,
     main,
@@ -173,6 +174,96 @@ def test_repo_committed_records_pass_against_themselves(tmp_path, capsys):
         baseline = load_committed(root, name)
         result = compare_records(baseline, baseline)
         assert not result["regressed"]
+
+
+# -- batched/scalar twin pairs (X vs X_scalar → compare_twins) ----------------
+
+
+def _twin_record(batched_s, scalar_s):
+    return _record(tests=[
+        {"test": "test_e2e", "outcome": "passed", "wall_s": batched_s},
+        {"test": "test_e2e_scalar", "outcome": "passed", "wall_s": scalar_s},
+    ])
+
+
+def test_compare_twins_reports_speedup():
+    rows, regressed = compare_twins(_twin_record(0.1, 0.4), None)
+    assert not regressed
+    assert rows == [{"test": "test_e2e", "batched_s": 0.1,
+                     "scalar_s": 0.4, "speedup": 4.0, "status": "ok"}]
+
+
+def test_compare_twins_prefers_benchmark_mean():
+    # wall_s sums every pytest-benchmark round (the round count adapts
+    # to the time budget), so twin speedups must come from mean_s
+    record = _record(tests=[
+        {"test": "test_e2e", "outcome": "passed",
+         "wall_s": 1.0, "mean_s": 0.1},
+        {"test": "test_e2e_scalar", "outcome": "passed",
+         "wall_s": 1.2, "mean_s": 0.4},
+    ])
+    rows, regressed = compare_twins(record, None)
+    assert not regressed
+    assert rows[0]["speedup"] == 4.0
+    assert rows[0]["batched_s"] == 0.1 and rows[0]["scalar_s"] == 0.4
+
+
+def test_compare_twins_fails_when_speedup_lost():
+    # batched slower than its scalar twin: the batched path lost the
+    # advantage it exists to provide
+    rows, regressed = compare_twins(_twin_record(0.5, 0.4), None)
+    assert regressed
+    assert rows[0]["status"] == "SPEEDUP-LOST"
+    assert rows[0]["speedup"] == 0.8
+
+
+def test_compare_twins_min_speedup_floor():
+    # 2x measured, but the gate demands 3x
+    rows, regressed = compare_twins(_twin_record(0.2, 0.4), None,
+                                    min_speedup=3.0)
+    assert regressed and rows[0]["status"] == "SPEEDUP-LOST"
+
+
+def test_compare_twins_noise_floor():
+    # both walls under the noise floor: too fast to judge either way
+    rows, regressed = compare_twins(_twin_record(0.001, 0.0005), None,
+                                    min_baseline_s=0.05)
+    assert not regressed
+    assert rows[0]["status"] == "noise-floor"
+
+
+def test_compare_twins_ignores_unpaired_tests():
+    record = _record(tests=[
+        {"test": "test_solo", "outcome": "passed", "wall_s": 1.0},
+        {"test": "test_orphan_scalar", "outcome": "passed", "wall_s": 1.0},
+    ])
+    rows, regressed = compare_twins(record, None)
+    assert rows == [] and not regressed
+
+
+def test_compare_twins_carries_baseline_speedup():
+    rows, _ = compare_twins(_twin_record(0.1, 0.4), _twin_record(0.1, 0.5))
+    assert rows[0]["baseline_speedup"] == 5.0
+
+
+def test_compare_records_propagates_twin_regression():
+    # per-test walls stay within budget, but the twin pair inverted —
+    # the record must still regress, and the row must render
+    base = _twin_record(0.4, 0.5)
+    cur = _twin_record(0.5, 0.4)
+    result = compare_records(cur, base, budget=1.30)
+    assert result["regressed"]
+    assert result["twins"][0]["status"] == "SPEEDUP-LOST"
+    rendered = render_comparison("substrate", result)
+    assert "twin test_e2e" in rendered and "SPEEDUP-LOST" in rendered
+
+
+def test_compare_records_twins_render_without_baseline():
+    result = compare_records(_twin_record(0.1, 0.4), None)
+    assert result["status"] == "no-baseline"
+    assert not result["regressed"]
+    rendered = render_comparison("substrate", result)
+    assert "twin test_e2e" in rendered and "4.00x speedup" in rendered
 
 
 # -- per-phase attribution (record_phases → compare_phases) -------------------

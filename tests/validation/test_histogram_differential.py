@@ -68,8 +68,12 @@ def test_disabled_run_emits_no_distribution_checks(seed0_outcome):
 
 def test_mutation_scaled_histogram_is_caught():
     """Corrupt the observe path (values doubled before binning): the
-    distribution check must fail while scalar RTT checks stay clean."""
-    spec = ScenarioSpec.from_seed(0).clone(histograms=True)
+    distribution check must fail while scalar RTT checks stay clean.
+    Patching a per-packet method only bites on the scalar twin — the
+    batched kernel bins through its own vectorised path (mutated by
+    ``kernel.debug_mutator`` in test_batch_mutation.py instead)."""
+    spec = ScenarioSpec.from_seed(0).clone(histograms=True,
+                                           batched_path=False)
     run = spec.build()
     hist = run.scenario.monitor.rtt_loss.rtt_hist
     orig = hist.observe
