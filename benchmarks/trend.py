@@ -59,7 +59,12 @@ def load_current(root: Path, name: str) -> Optional[dict]:
     path = record_path(root, name)
     if not path.is_file():
         return None
-    return json.loads(path.read_text())
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError:
+        # A truncated record (killed benchmark run, interrupted write) is
+        # indistinguishable from a missing one for trend purposes.
+        return None
 
 
 def load_committed(root: Path, name: str, ref: str = "HEAD") -> Optional[dict]:
@@ -324,9 +329,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     names = args.names or discover_names(args.root)
     if not names:
-        print("no BENCH_*.json records found; run pytest benchmarks/ first",
-              file=sys.stderr)
-        return 2
+        # First run of a fresh checkout / CI cache miss: there is no
+        # bench history at all.  That is a state to report, not an
+        # error — the first benchmark run records the first trend
+        # point.  Explicitly-named-but-missing records (below) stay
+        # hard errors: the caller asked for something that isn't there.
+        print("bench-trend: no baseline — no BENCH_*.json records found; "
+              "the next benchmark run records the first trend point")
+        if args.report is not None:
+            args.report.write_text(json.dumps(
+                {"budget": args.budget, "ref": args.ref,
+                 "records": {}}, indent=2) + "\n")
+            print(f"report written to {args.report}")
+        return 0
 
     comparisons = {}
     failed = False

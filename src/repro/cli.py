@@ -102,7 +102,8 @@ def _instrumented_scenario(args, histograms: bool = False):
     impairment so the loss/alert paths light up deterministically."""
     from repro.experiments.common import Scenario, ScenarioConfig
 
-    overrides = {"histograms_enabled": True} if histograms else {}
+    overrides = ({"histograms_enabled": True, "forensics_enabled": True}
+                 if histograms else {})
     scenario = Scenario(
         ScenarioConfig(bottleneck_mbps=25.0, rtts_ms=(20.0, 30.0, 40.0),
                        reference_rtt_ms=40.0, monitor_overrides=overrides),
@@ -144,6 +145,7 @@ def _watch(args) -> str:
     pusher = TelemetryPusher(scenario.perfsonar.archiver.sink)
     sampler.add_observer(pusher)
     extractor = scenario.control_plane.histograms
+    forensics = scenario.control_plane.forensics
     if extractor is not None:
         # Mirror the live percentile summaries into the flight recorder
         # so p99 RTT rides the same ring buffers as everything else.
@@ -165,7 +167,10 @@ def _watch(args) -> str:
         print(clear + render_watch(sampler.store, top=args.top, now_ns=t_ns,
                                    samples=sampler.samples_taken,
                                    alerts=alerts, sim_stats=_sim_line(),
-                                   hist_line=hist_line),
+                                   hist_line=hist_line,
+                                   forensics_line=(forensics.watch_line()
+                                                   if forensics is not None
+                                                   else None)),
               flush=True)
 
     sampler.add_observer(frame)
@@ -188,7 +193,9 @@ def _watch(args) -> str:
                          alerts=scenario.control_plane.alerts.active_alerts,
                          sim_stats=_sim_line(),
                          hist_line=(extractor.watch_line()
-                                    if extractor is not None else None))
+                                    if extractor is not None else None),
+                         forensics_line=(forensics.watch_line()
+                                         if forensics is not None else None))
     archived = scenario.perfsonar.archiver.telemetry_count()
     return (final + f"\narchived {archived} repro_telemetry events "
             f"({pusher.events_pushed} pushed) alongside "
@@ -253,6 +260,71 @@ def _histograms(args) -> str:
         with open(args.hist_out, "w") as fh:
             json.dump(docs, fh, indent=2, sort_keys=True)
         lines.append(f"documents written to {args.hist_out}")
+    return "\n".join(lines)
+
+
+def _forensics(args) -> str:
+    """Queue forensics: the fig11 microburst scenario with time-window
+    registers enabled; prints the alert-triggered culprit attributions
+    plus an explicit query over the trailing ``--window`` base windows
+    (``--flow`` names a victim whose own contribution is excluded), and
+    optionally dumps the archived ``repro-forensics-v1`` documents to
+    ``--out`` (the CI smoke artifact)."""
+    import json
+
+    from repro.core.forensics import render_culprits
+    from repro.experiments.common import ScenarioConfig
+    from repro.experiments.fig11_microburst import run_fig11
+
+    duration = max(args.duration, 30.0)
+    log.info("forensics: fig11 microburst run, %.0f simulated seconds",
+             duration)
+    result = run_fig11(
+        duration_s=duration, join_s=args.join,
+        config=ScenarioConfig(
+            rtts_ms=(100.0, 100.0, 100.0),
+            buffer_bdp_fraction=0.25,
+            monitor_overrides={"forensics_enabled": True},
+        ),
+    )
+    scenario = result.scenario
+    cp = scenario.control_plane
+    forensics = cp.forensics
+    archiver = scenario.perfsonar.archiver
+
+    lines = []
+    for report in cp.forensics_reports:
+        lines.append(f"report at t={report.time_ns / 1e9:.2f}s:")
+        lines.append(render_culprits(report))
+        lines.append("")
+
+    end = scenario.sim.now
+    t0 = max(0, end - args.window * forensics.base_window_ns)
+    victim = None
+    if args.flow is not None:
+        tracked = next(
+            (f for f in cp.flows.values()
+             if (f.src_ip, f.dst_ip, f.src_port, f.dst_port)
+             == (args.flow.src_ip, args.flow.dst_ip,
+                 args.flow.src_port, args.flow.dst_port)), None)
+        victim = tracked.flow_id if tracked is not None else None
+    query = forensics.query(victim, t0, end)
+    span_s = (end - t0) / 1e9
+    if query is not None:
+        lines.append(f"query over the last {span_s:.1f}s:")
+        lines.append(render_culprits(query))
+        lines.append("")
+    else:
+        lines.append(f"query over the last {span_s:.1f}s: suppressed "
+                     f"(< {forensics.min_window_bytes} B of window mass)")
+    lines.append(f"archived {archiver.forensics_count()} repro-forensics-v1 "
+                 f"document(s); {len(cp.microbursts)} microburst(s); "
+                 f"{forensics.suppressed} suppressed quer(y|ies)")
+    if args.out:
+        docs = archiver.forensics_documents()
+        with open(args.out, "w") as fh:
+            json.dump(docs, fh, indent=2, sort_keys=True)
+        lines.append(f"documents written to {args.out}")
     return "\n".join(lines)
 
 
@@ -576,6 +648,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "stats": _stats,
     "watch": _watch,
     "histograms": _histograms,
+    "forensics": _forensics,
     "validate": _validate,
     "trace": _trace,
     "profile": _profile,
@@ -656,11 +729,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="arm only this fine-window dump trigger "
                             "(default: all four)")
     trace.add_argument("--window", type=int, default=8192, metavar="EVENTS",
-                       help="fine-window ring size in events (default: 8192)")
+                       help="fine-window ring size in events (default: "
+                            "8192); forensics mode reads it as the explicit "
+                            "query's lookback in base time windows")
     trace.add_argument("--out", metavar="PATH", default=None,
                        help="output path: Perfetto JSON for trace mode "
                             "(default: trace.json), artifact prefix for "
-                            "profile mode (default: profile)")
+                            "profile mode (default: profile), archived "
+                            "report JSON for forensics mode")
     prof = parser.add_argument_group("performance attribution (profile mode)")
     prof.add_argument("--mode", choices=("phase", "sample", "both"),
                       default="both",
@@ -752,6 +828,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         names.remove("stats")
         names.remove("watch")
         names.remove("histograms")
+        names.remove("forensics")
         names.remove("validate")
         names.remove("trace")
         names.remove("profile")

@@ -189,6 +189,7 @@ class BatchKernel:
         if self.rtt_hist is not None:
             self._rtt_edges = np.asarray(self.rtt_hist.edges, dtype=np.int64)
             self._q_edges = np.asarray(self.qdepth_hist.edges, dtype=np.int64)
+        self.time_windows = queue.time_windows
 
         # flow 4-tuple -> (fid, rid, slot, cms row indices).  Protocol is
         # constant (the parser rejected everything but TCP).
@@ -455,6 +456,7 @@ class BatchKernel:
 
         rtt_hist_obs: list = []
         qdepth_hist_obs: list = []
+        tw_obs: list = []
 
         ft = self.flow_table
         rl = self.rtt_loss
@@ -462,6 +464,7 @@ class BatchKernel:
         mb = self.microburst
         rtt_hist_on = self.rtt_hist is not None
         qdepth_hist_on = self.qdepth_hist is not None
+        tw_on = self.time_windows is not None
         slot_collisions = 0
         cms_updates = 0
         rtt_evictions = 0
@@ -636,6 +639,8 @@ class BatchKernel:
                 port_q = epid % ports
                 if qdepth_hist_on:
                     qdepth_hist_obs.append((port_q, delay))
+                if tw_on:
+                    tw_obs.append((now48, fid, a_tlen[i], delay))
                 idx = a_slot[i]
                 ov_flow_qdelay[idx] = delay
                 if delay > ov_flow_qdelay_max[idx]:
@@ -715,6 +720,13 @@ class BatchKernel:
             np.add.at(hist._banks[hist.active],
                       (np.asarray(idxs, dtype=np.intp), bins), 1)
             hist.ops += len(qdepth_hist_obs)
+        if tw_obs:
+            # Sequential replay: window cells hold last-writer signatures
+            # and running maxima, so updates are order-dependent and must
+            # land exactly as the scalar twin would apply them.
+            tw_observe = self.time_windows.observe
+            for tw_ts, tw_fid, tw_len, tw_delay in tw_obs:
+                tw_observe(tw_ts, tw_fid, tw_len, tw_delay)
 
         ft.slot_collisions += slot_collisions
         self.cms.updates += cms_updates

@@ -114,6 +114,24 @@ class MonitorConfig:
     histogram_shift_threshold: float = 0.35
     histogram_min_samples: int = 16
 
+    # Queue forensics (PrintQueue-style time-window registers): k
+    # exponentially-coarsening levels of per-window (flow_sig, pkt_count,
+    # byte_count, max_qdepth) cells on the queue-monitor egress path,
+    # plus the control-plane extractor that indexes them and answers
+    # culprit queries when a microburst or rtt_distribution alert fires.
+    forensics_enabled: bool = False
+    forensics_levels: int = 4
+    # 1024 cells x 1 ms covers a full 1 Hz extraction interval at level
+    # 0, so windows normally reach the control plane before the ring
+    # wraps (evictions only under much faster packet clock skew).
+    forensics_cells: int = 1024
+    forensics_base_window_ns: int = 1_000_000   # 1 ms finest windows
+    forensics_samples_per_second: float = 1.0
+    forensics_top_n: int = 5
+    # Alert-triggered queries over intervals holding less byte mass than
+    # this are suppressed (report only change-significant windows).
+    forensics_min_window_bytes: int = 1500
+
     # Control-plane policy per metric.
     metrics: Dict[MetricKind, MetricConfig] = field(
         default_factory=lambda: {kind: MetricConfig() for kind in MetricKind}
@@ -187,6 +205,19 @@ class MonitorConfig:
                 raise ValueError("need 0 < histogram_shift_threshold <= 1")
             if self.histogram_min_samples < 1:
                 raise ValueError("histogram_min_samples must be >= 1")
+        if self.forensics_enabled:
+            if self.forensics_levels < 1:
+                raise ValueError("forensics_levels must be >= 1")
+            if self.forensics_cells <= 0:
+                raise ValueError("forensics_cells must be positive")
+            if self.forensics_base_window_ns <= 0:
+                raise ValueError("forensics_base_window_ns must be positive")
+            if self.forensics_samples_per_second <= 0:
+                raise ValueError("forensics_samples_per_second must be positive")
+            if self.forensics_top_n < 1:
+                raise ValueError("forensics_top_n must be >= 1")
+            if self.forensics_min_window_bytes < 0:
+                raise ValueError("forensics_min_window_bytes must be >= 0")
 
     def copy(self) -> "MonitorConfig":
         return replace(self, metrics={k: replace(v) for k, v in self.metrics.items()})

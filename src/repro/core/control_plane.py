@@ -28,6 +28,7 @@ from repro.netsim.engine import Event, Simulator
 from repro.netsim.units import NS_PER_S
 from repro.core.alerts import AlertManager
 from repro.core.config import MetricKind, MonitorConfig
+from repro.core.forensics import ForensicsExtractor
 from repro.core.histograms import HistogramExtractor
 from repro.core.limiter import LimiterClassifier
 from repro.core.monitor import P4Monitor
@@ -36,6 +37,7 @@ from repro.core.reports import (
     Alert,
     FlowSample,
     FlowTerminationReport,
+    ForensicsReport,
     HistogramReport,
     LimiterReport,
     LimiterVerdict,
@@ -101,6 +103,7 @@ class MonitorControlPlane:
         self.terminations: List[FlowTerminationReport] = []
         self.limiter_reports: List[LimiterReport] = []
         self.histogram_reports: List[HistogramReport] = []
+        self.forensics_reports: List[ForensicsReport] = []
 
         self._timers: Dict[MetricKind, Event] = {}
         self._running = False
@@ -142,6 +145,12 @@ class MonitorControlPlane:
         self.histograms: Optional[HistogramExtractor] = None
         if monitor.rtt_loss.rtt_hist is not None:
             self.histograms = HistogramExtractor(self)
+
+        # Queue forensics (same construction-time binding): present only
+        # when the queue monitor built the time-window extern.
+        self.forensics: Optional[ForensicsExtractor] = None
+        if monitor.queue.time_windows is not None:
+            self.forensics = ForensicsExtractor(self)
 
         # Profiling: each extraction tick body runs inside a
         # ``cp.extract/<metric>`` phase frame so register-read cost is
@@ -205,6 +214,8 @@ class MonitorControlPlane:
             self._arm(kind)
         if self.histograms is not None:
             self.histograms.arm()
+        if self.forensics is not None:
+            self.forensics.arm()
 
     def stop(self) -> None:
         self._running = False
@@ -213,6 +224,8 @@ class MonitorControlPlane:
         self._timers.clear()
         if self.histograms is not None:
             self.histograms.cancel()
+        if self.forensics is not None:
+            self.forensics.cancel()
 
     def _arm(self, kind: MetricKind) -> None:
         # Cancel-first: set_degraded can re-arm mid-tick, after which the
@@ -288,6 +301,8 @@ class MonitorControlPlane:
                 self._arm(kind)
             if self.histograms is not None:
                 self.histograms.arm()
+            if self.forensics is not None:
+                self.forensics.arm()
 
     # -- runtime reconfiguration (what pSConfig drives, Fig. 5a) ------------------
 
@@ -379,6 +394,10 @@ class MonitorControlPlane:
                              packets=event.packets,
                              port_id=event.port_id)
         self._ship(event)
+        if self.forensics is not None:
+            # Who built this queue?  The culprit query runs at the next
+            # forensics tick, once the burst's windows are extracted.
+            self.forensics.on_microburst(event)
 
     # -- extraction ticks ----------------------------------------------------------
 

@@ -278,6 +278,11 @@ class HistogramExtractor:
             self.cp._trace.fire("alert", now, metric="rtt_distribution",
                                 shift=shift)
         self.cp._ship(alert)
+        forensics = getattr(self.cp, "forensics", None)
+        if forensics is not None:
+            # Which flows moved the distribution?  Queue the culprit
+            # query over the window that shifted.
+            forensics.on_change_point(now, alert)
 
     # -- surfaces (watch header, flight recorder) ------------------------------
 

@@ -20,6 +20,7 @@ from repro.p4.pipeline import PipelineStage, StandardMetadata
 from repro.p4.parser import ParsedHeaders
 from repro.p4.registers import RegisterArray
 from repro.p4.runtime import P4Program
+from repro.p4.time_windows import TimeWindowRegister
 from repro.core.config import MonitorConfig
 from repro.core.flow_table import PORT_EGRESS_TAP, PORT_INGRESS_TAP
 
@@ -85,6 +86,17 @@ class QueueMonitorStage(PipelineStage):
                            config.qdepth_hist_bins),
             ))
 
+        # Queue-ancestry time windows on the matched TAP-pair path: who
+        # occupied the queue, window by window, at every coarsening level.
+        self.time_windows: "TimeWindowRegister | None" = None
+        if config.forensics_enabled:
+            self.time_windows = program.time_window(TimeWindowRegister(
+                "time_windows",
+                levels=config.forensics_levels,
+                cells=config.forensics_cells,
+                base_window_ns=config.forensics_base_window_ns,
+            ))
+
         self.pairs_matched = 0
         self.pairs_missed = 0
         self.stash_evictions = 0
@@ -113,6 +125,8 @@ class QueueMonitorStage(PipelineStage):
         meta.queue_delay_ns = delay
         if self.qdepth_hist is not None:
             self.qdepth_hist.observe(meta.egress_port_id % self.ports, delay)
+        if self.time_windows is not None:
+            self.time_windows.observe(now, meta.flow_id, hdr.ip_total_len, delay)
         idx = meta.flow_id & self.mask
         self.flow_qdelay.write(idx, delay)
         self.flow_qdelay_max.maximum(idx, delay)

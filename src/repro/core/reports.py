@@ -234,6 +234,52 @@ class HistogramReport:
 
 
 @dataclass
+class ForensicsReport:
+    """Culprit attribution for one queue-trouble interval: the ranked
+    flows whose packets occupied the queue during ``[t0_ns, t1_ns)``,
+    decoded from the time-window queue-ancestry registers at the finest
+    coarsening level that still covers the interval.  Shipped when a
+    microburst or rtt_distribution alert fires (or on an explicit CLI
+    query) and archived as ``repro-forensics-v1``."""
+
+    time_ns: int
+    trigger: str                 # "microburst" | "rtt_distribution" | "query"
+    t0_ns: int
+    t1_ns: int
+    level: int                   # coarsening level the query resolved at
+    window_width_ns: int         # window width at that level
+    windows: int                 # non-empty windows inside the interval
+    total_bytes: int             # byte mass across those windows
+    # Ranked attributions, heaviest contributor first.  Each entry:
+    # flow_id, bytes, packets, windows (windows the flow signed),
+    # coverage (fraction of non-empty windows signed), share (fraction
+    # of total_bytes), max_qdepth_ns, and source/destination ip/port
+    # when the flow is still tracked.
+    culprits: List[dict] = field(default_factory=list)
+    victim_flow_id: Optional[int] = None
+    port_id: Optional[int] = None
+
+    def to_document(self) -> dict:
+        doc = {
+            "type": "repro-forensics-v1",
+            "@timestamp": self.time_ns / NS_PER_S,
+            "trigger": self.trigger,
+            "t0_ns": self.t0_ns,
+            "t1_ns": self.t1_ns,
+            "level": self.level,
+            "window_width_ns": self.window_width_ns,
+            "windows": self.windows,
+            "total_bytes": self.total_bytes,
+            "culprits": [dict(c) for c in self.culprits],
+        }
+        if self.victim_flow_id is not None:
+            doc["victim_flow_id"] = self.victim_flow_id
+        if self.port_id is not None:
+            doc["port_id"] = self.port_id
+        return doc
+
+
+@dataclass
 class LimiterReport:
     """Per-flow §4.4 verdict at one extraction instant."""
 

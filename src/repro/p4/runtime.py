@@ -21,6 +21,7 @@ from repro.p4.histogram import HistogramRegister
 from repro.p4.registers import Counter, RegisterArray
 from repro.p4.sketch import CountMinSketch
 from repro.p4.tables import MatchActionTable
+from repro.p4.time_windows import TimeWindowRegister
 
 
 class P4Program:
@@ -34,6 +35,7 @@ class P4Program:
         self.digests: Dict[str, Digest] = {}
         self.sketches: Dict[str, CountMinSketch] = {}
         self.histograms: Dict[str, HistogramRegister] = {}
+        self.time_windows: Dict[str, TimeWindowRegister] = {}
 
     # Registration (called by the program at construction time).
 
@@ -73,6 +75,12 @@ class P4Program:
         self.histograms[hist.name] = hist
         return hist
 
+    def time_window(self, tw: TimeWindowRegister) -> TimeWindowRegister:
+        if tw.name in self.time_windows:
+            raise ValueError(f"duplicate time-window register {tw.name!r}")
+        self.time_windows[tw.name] = tw
+        return tw
+
     # -- whole-program state (validation / replay round-trips) ---------------
 
     def state_snapshot(self) -> Dict[str, np.ndarray]:
@@ -97,6 +105,11 @@ class P4Program:
             state[f"histogram/{name}/bank1"] = hist.bank(1)
             state[f"histogram/{name}/active"] = np.array([hist.active],
                                                          dtype=np.uint64)
+        for name, tw in self.time_windows.items():
+            state[f"time_window/{name}/bank0"] = tw.bank(0)
+            state[f"time_window/{name}/bank1"] = tw.bank(1)
+            state[f"time_window/{name}/active"] = np.array([tw.active],
+                                                           dtype=np.uint64)
         return state
 
     def state_digest(self) -> str:
@@ -174,6 +187,29 @@ class P4RuntimeClient:
         per-window delta counts since the previous extraction."""
         self.register_reads += 1
         return self.histogram(name).extract()
+
+    # -- time windows --------------------------------------------------------
+
+    def time_window(self, name: str) -> TimeWindowRegister:
+        try:
+            return self.program.time_windows[name]
+        except KeyError:
+            raise KeyError(
+                f"program {self.program.name!r} has no time-window register "
+                f"{name!r}; available: {sorted(self.program.time_windows)}"
+            ) from None
+
+    def read_time_windows(self, name: str) -> np.ndarray:
+        """Copy of the active bank (windows still accumulating)."""
+        self.register_reads += 1
+        tw = self.time_window(name)
+        return tw.bank(tw.active)
+
+    def extract_time_windows(self, name: str) -> np.ndarray:
+        """Flip the banks and return + clear the quiescent one — every
+        window cell written since the previous extraction."""
+        self.register_reads += 1
+        return self.time_window(name).extract()
 
     # -- counters ------------------------------------------------------------
 

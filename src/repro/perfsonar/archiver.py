@@ -131,6 +131,35 @@ class Archiver:
             if field in doc
         ]
 
+    # -- forensics documents (repro-forensics-v1 reports) ----------------------
+
+    FORENSICS_KIND = "repro-forensics-v1"
+
+    def forensics_count(self) -> int:
+        return self.count(self.FORENSICS_KIND)
+
+    def forensics_documents(self, **terms) -> List[dict]:
+        """Archived culprit-attribution reports, optionally filtered by
+        exact field match (``trigger="microburst"``, ``port_id=...``)."""
+        return self.documents(self.FORENSICS_KIND, **terms)
+
+    def forensics_latest(self, **terms) -> Optional[dict]:
+        docs = self.forensics_documents(**terms)
+        if not docs:
+            return None
+        return max(docs, key=lambda d: d.get("@timestamp", 0.0))
+
+    def culprit_flows(self) -> List[int]:
+        """Distinct flow ids named as culprits, heaviest-total first —
+        what the culprit dashboard panel enumerates its series from."""
+        totals: Dict[int, int] = {}
+        for doc in self.forensics_documents():
+            for culprit in doc.get("culprits", []):
+                fid = culprit.get("flow_id")
+                if fid is not None:
+                    totals[fid] = totals.get(fid, 0) + culprit.get("bytes", 0)
+        return sorted(totals, key=lambda fid: totals[fid], reverse=True)
+
     # -- flight-recorder documents (repro_telemetry events) --------------------
 
     TELEMETRY_KIND = "repro_telemetry"

@@ -108,6 +108,26 @@ def build_dashboard(
             ],
         })
         panel_id += 1
+    forensics_kind = Archiver.FORENSICS_KIND
+    culprit_flows = archiver.culprit_flows()
+    if culprit_flows:
+        panels.append({
+            "id": panel_id,
+            "title": "Queue forensics: culprit attribution",
+            "type": "barchart",
+            "fieldConfig": {"defaults": {"unit": "bytes"}},
+            "targets": [
+                {
+                    "refId": chr(ord("A") + i % 26),
+                    "query": f"type:{forensics_kind} "
+                             f"AND culprits.flow_id:{fid}",
+                    "metrics": [{"type": "sum", "field": "culprits.bytes"}],
+                    "alias": f"{fid:x}",
+                }
+                for i, fid in enumerate(culprit_flows)
+            ],
+        })
+        panel_id += 1
     return {
         "title": title,
         "schemaVersion": 39,
@@ -164,3 +184,23 @@ def percentile_band_series(
         for pts in entry.values():
             pts.sort()
     return bands
+
+
+def culprit_series(archiver: Archiver) -> Dict[str, List[tuple]]:
+    """The concrete series behind the culprit panel: per culprit flow,
+    sorted (t, bytes-contributed) points, one per forensics report the
+    flow was named in.  Forensics documents carry ranked sub-records
+    rather than a scalar ``value``, so this is their distribution-aware
+    counterpart to :func:`panel_series`."""
+    series: Dict[str, List[tuple]] = {}
+    for doc in archiver.forensics_documents():
+        t = doc.get("@timestamp", 0.0)
+        for culprit in doc.get("culprits", []):
+            fid = culprit.get("flow_id")
+            if fid is None:
+                continue
+            series.setdefault(f"{fid:x}", []).append(
+                (t, culprit.get("bytes", 0)))
+    for pts in series.values():
+        pts.sort()
+    return series

@@ -51,7 +51,8 @@ def render_watch(store: TimeSeriesStore, top: int = 12, width: int = 24,
                  now_ns: Optional[int] = None, samples: Optional[int] = None,
                  alerts: Optional[list] = None,
                  sim_stats: Optional[str] = None,
-                 hist_line: Optional[str] = None) -> str:
+                 hist_line: Optional[str] = None,
+                 forensics_line: Optional[str] = None) -> str:
     """One watch frame: header, scheduler line, top-N table with
     sparklines, alert line.
 
@@ -59,7 +60,9 @@ def render_watch(store: TimeSeriesStore, top: int = 12, width: int = 24,
     (pending events / queue high-water mark / events run) shown right
     under the header — the CLI's watch mode feeds it from the live
     simulator.  ``hist_line`` is the control plane's live p99-RTT
-    distribution summary, shown the same way when histograms are on.
+    distribution summary, shown the same way when histograms are on;
+    ``forensics_line`` is the latest top-culprit attribution, shown when
+    queue forensics is on and an alert has run a culprit query.
 
     Series are ranked by how fast they are moving right now (|last
     delta|); the sparkline plots per-sample deltas, so a steady counter
@@ -77,6 +80,8 @@ def render_watch(store: TimeSeriesStore, top: int = 12, width: int = 24,
         header += "\n" + sim_stats
     if hist_line:
         header += "\n" + hist_line
+    if forensics_line:
+        header += "\n" + forensics_line
 
     rows: List[tuple] = []
     for series in store.top(top):

@@ -30,7 +30,8 @@ from repro.validation.scenarios import ScenarioSpec, ValidationRun
 #: Control-plane archive attributes compared record-by-record (the
 #: per-metric ``flow_samples`` dict is expanded separately).
 _STREAMS = ("jitter_samples", "aggregate_samples", "microbursts",
-            "terminations", "limiter_reports", "histogram_reports")
+            "terminations", "limiter_reports", "histogram_reports",
+            "forensics_reports")
 
 
 @dataclass

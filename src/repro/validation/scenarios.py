@@ -104,6 +104,9 @@ class ScenarioSpec:
     long_flow_bytes: int = 50_000
     cms_width: int = 4096
     histograms: bool = False
+    #: Queue forensics (time-window registers + culprit attribution on
+    #: microburst/rtt_distribution alerts).
+    forensics: bool = False
     #: Which monitor hot path to bind at construction (True = batched
     #: kernel, False = scalar per-packet dispatch).  The differential
     #: oracle never sees the difference — that is the equivalence
@@ -240,6 +243,7 @@ class ScenarioSpec:
                 "long_flow_bytes": self.long_flow_bytes,
                 "cms_width": self.cms_width,
                 "histograms_enabled": self.histograms,
+                "forensics_enabled": self.forensics,
                 "batched_path": self.batched_path,
             },
         )

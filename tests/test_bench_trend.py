@@ -154,6 +154,31 @@ def test_main_errors_on_missing_current_record(bench_repo, capsys):
     assert main(["ghost", "--root", str(bench_repo)]) == 2
 
 
+def test_main_first_run_with_empty_history_passes(tmp_path, capsys):
+    # Fresh checkout / CI cache miss: no BENCH history anywhere.  The
+    # gate must report "no baseline" and exit clean — the first
+    # benchmark run records the first trend point.
+    report = tmp_path / "trend-report.json"
+    rc = main(["--root", str(tmp_path), "--report", str(report)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "no baseline" in out
+    assert json.loads(report.read_text())["records"] == {}
+
+
+def test_main_still_errors_when_named_record_absent(tmp_path):
+    # Empty history is only forgiven for auto-discovery; an explicitly
+    # requested record that is missing stays a hard usage error.
+    assert main(["substrate", "--root", str(tmp_path)]) == 2
+
+
+def test_main_treats_malformed_current_record_as_missing(bench_repo, capsys):
+    (bench_repo / "BENCH_x.json").write_text("{truncated")
+    assert main(["x", "--root", str(bench_repo)]) == 2
+    err = capsys.readouterr().err
+    assert "BENCH_x.json missing" in err
+
+
 def test_discover_names(bench_repo):
     (bench_repo / "BENCH_other.json").write_text("{}")
     assert discover_names(bench_repo) == ["other", "x"]
