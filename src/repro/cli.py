@@ -596,6 +596,8 @@ def _chaos(args) -> str:
         bundled_chaos,
         load_spec,
         run_chaos,
+        run_crash_chaos,
+        with_crash,
         write_artifact,
     )
 
@@ -605,8 +607,14 @@ def _chaos(args) -> str:
 
     def _run_one(name: str, spec) -> None:
         nonlocal failed
-        log.info("chaos: %s (%s)", name, spec.schedule)
-        result = run_chaos(spec)
+        if args.crash:
+            if not spec.schedule.has("cp_crash"):
+                spec = with_crash(spec)
+            log.info("crash chaos: %s (%s)", name, spec.schedule)
+            result = run_crash_chaos(spec, checkpoint_dir=args.checkpoint_dir)
+        else:
+            log.info("chaos: %s (%s)", name, spec.schedule)
+            result = run_chaos(spec)
         lines.append(result.summary())
         if not result.passed:
             failed = True
@@ -636,6 +644,80 @@ def _chaos(args) -> str:
     return "\n".join(lines)
 
 
+def _recover(args) -> str:
+    """Cold-start recovery smoke (docs/robustness.md "Crash recovery"):
+    run a checkpointed workload to completion, then bring a *fresh*
+    scenario — new simulator, new data plane, new control plane — up to
+    the final checkpoint with :func:`restore_dataplane` (digest-verified
+    bulk register load) + :func:`restore_control_plane`, and report the
+    fidelity of the restored books."""
+    import tempfile
+
+    from repro.perfsonar.archiver import Archiver
+    from repro.resilience import checkpoint
+    from repro.resilience.chaos import _small_workload
+
+    lines = []
+    seed = _seeds(args.seed)[0]
+    spec = _small_workload(seed).clone(histograms=True, forensics=True)
+
+    with tempfile.TemporaryDirectory(prefix="repro-recover-") as tmp:
+        directory = args.checkpoint_dir or tmp
+        manager = checkpoint.install_manager(checkpoint.CheckpointManager(
+            checkpoint.CheckpointStore(directory)))
+        try:
+            run = spec.build()
+            archiver = Archiver()
+            manager.attach_dedup(archiver.dedup)
+            cp = run.scenario.control_plane
+            cp.report_sink = archiver.sink
+            run.run()
+            cp.stop()
+            manager.capture(cp)       # the final, complete checkpoint
+            doc = manager.store.latest()
+        finally:
+            checkpoint.uninstall_manager()
+        lines.append(
+            f"checkpointed run: seed={seed} captures={manager.captures} "
+            f"store={directory} (retained {len(manager.store.paths())})")
+
+        # The replacement world: nothing shared with the first run.
+        run2 = spec.build()
+        cp2 = run2.scenario.control_plane
+        cp2.stop()
+        digest = checkpoint.restore_dataplane(
+            run2.scenario.monitor.program, doc)
+        checkpoint.restore_control_plane(cp2, doc)
+        lines.append(f"data plane restored: digest {digest[:16]}… verified")
+
+        checks = [
+            ("tracked flows", len(cp2.flows), len(cp.flows)),
+            ("active alerts", len(cp2.alerts._active), len(cp.alerts._active)),
+            ("flow samples",
+             sum(len(v) for v in cp2.flow_samples.values()),
+             sum(len(v) for v in cp.flow_samples.values())),
+            ("aggregate samples",
+             len(cp2.aggregate_samples), len(cp.aggregate_samples)),
+            ("microbursts", len(cp2.microbursts), len(cp.microbursts)),
+            ("histogram ticks",
+             cp2.histograms.ticks if cp2.histograms else 0,
+             cp.histograms.ticks if cp.histograms else 0),
+            ("forensics ticks",
+             cp2.forensics.ticks if cp2.forensics else 0,
+             cp.forensics.ticks if cp.forensics else 0),
+        ]
+        ok = True
+        for label, restored, original in checks:
+            verdict = "ok" if restored == original else "MISMATCH"
+            ok = ok and restored == original
+            lines.append(f"  {label}: restored={restored} "
+                         f"original={original} [{verdict}]")
+        lines.append("recover smoke: " + ("PASS" if ok else "FAIL"))
+        if not ok:
+            args._recover_failed = True
+    return "\n".join(lines)
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "fig9": _fig9,
     "fig10": _fig10,
@@ -653,6 +735,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "trace": _trace,
     "profile": _profile,
     "chaos": _chaos,
+    "recover": _recover,
 }
 
 
@@ -786,6 +869,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "kitchen-sink), a fault-schedule JSON file, or "
                             "a failed-run artifact to replay; default: "
                             "every bundled schedule plus a seed-derived run")
+    chaos.add_argument("--crash", action="store_true",
+                       help="kill the control plane mid-run (a cp_crash "
+                            "window is appended if the schedule lacks one) "
+                            "and recover it from checkpoints under the "
+                            "supervisor; settles the recovery books on top "
+                            "of the usual chaos invariants")
+    chaos.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                       help="where --crash (and the recover mode) keeps "
+                            "checkpoint files (default: a temp directory)")
     return parser
 
 
@@ -833,6 +925,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         names.remove("trace")
         names.remove("profile")
         names.remove("chaos")
+        names.remove("recover")
     # --trace-out: provenance capture around any experiment ('trace'
     # manages its own tracer and export through --out).
     capture = args.trace_out is not None and args.experiment != "trace"
@@ -886,6 +979,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if getattr(args, "_validate_failed", False):
         return 1
     if getattr(args, "_chaos_failed", False):
+        return 1
+    if getattr(args, "_recover_failed", False):
         return 1
     return 1 if getattr(args, "_telemetry_write_failed", False) else 0
 

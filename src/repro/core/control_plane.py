@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro import telemetry
 from repro.telemetry import profiling, provenance
-from repro.resilience import faults
+from repro.resilience import checkpoint, faults
 from repro.netsim.engine import Event, Simulator
 from repro.netsim.units import NS_PER_S
 from repro.core.alerts import AlertManager
@@ -130,9 +130,28 @@ class MonitorControlPlane:
         self._interval_scale = 1.0
         self.reports_suppressed = 0
 
-        self.runtime.subscribe_digest("long_flow", self._on_long_flow)
-        self.runtime.subscribe_digest("flow_termination", self._on_termination)
-        self.runtime.subscribe_digest("microburst", self._on_microburst)
+        # Checkpointing (construction-time binding, same contract as the
+        # fault injector above): when a CheckpointManager is installed,
+        # every destructive step — extraction ticks that flip/clear
+        # read-flip banks, digest consumption — ends with an ``on_tick``
+        # so the latest checkpoint always covers everything this process
+        # has irreversibly taken from the data plane.
+        self._ckpt = checkpoint.manager()
+        # Set by a checkpoint restore before start(): extraction cursors
+        # of the dead incarnation, so the first post-restart tick windows
+        # over the true elapsed time (one bounded catch-up window).
+        self._resume_cursors: Optional[Dict[MetricKind, int]] = None
+
+        # Digest subscription lives in start()/stop(), not here: while
+        # no control plane is subscribed (construction, or crash-to-
+        # restart downtime) digests backlog in the data plane and replay
+        # into whoever subscribes next.
+        self._digest_receivers = (
+            ("long_flow", self._on_long_flow),
+            ("flow_termination", self._on_termination),
+            ("microburst", self._on_microburst),
+        )
+        self._subscribed = False
 
         # Provenance: per-flow register extractions resolve the packet
         # that last wrote the slot, and shipped reports inherit that
@@ -209,13 +228,24 @@ class MonitorControlPlane:
         if self._running:
             return
         self._running = True
+        resume = self._resume_cursors
+        self._resume_cursors = None
         for kind in MetricKind:
-            self.last_extraction_ns[kind] = self.sim.now
+            self.last_extraction_ns[kind] = (
+                resume[kind] if resume is not None and kind in resume
+                else self.sim.now)
             self._arm(kind)
         if self.histograms is not None:
             self.histograms.arm()
         if self.forensics is not None:
             self.forensics.arm()
+        # Subscribe last: backlogged digests (e.g. terminations emitted
+        # while no control plane was alive) replay synchronously here,
+        # against fully-restored state.
+        if not self._subscribed:
+            self._subscribed = True
+            for name, receiver in self._digest_receivers:
+                self.runtime.subscribe_digest(name, receiver)
 
     def stop(self) -> None:
         self._running = False
@@ -226,6 +256,10 @@ class MonitorControlPlane:
             self.histograms.cancel()
         if self.forensics is not None:
             self.forensics.cancel()
+        if self._subscribed:
+            self._subscribed = False
+            for name, receiver in self._digest_receivers:
+                self.runtime.unsubscribe_digest(name, receiver)
 
     def _arm(self, kind: MetricKind) -> None:
         # Cancel-first: set_degraded can re-arm mid-tick, after which the
@@ -275,6 +309,8 @@ class MonitorControlPlane:
             if prof is not None:
                 prof.end()
         self.last_extraction_ns[kind] = self.sim.now
+        if self._ckpt is not None:
+            self._ckpt.on_tick(self)
         self._arm(kind)
 
     # -- degraded reporting mode (driven by the delivery circuit breaker) ---------
@@ -352,6 +388,10 @@ class MonitorControlPlane:
             first_seen_ns=payload["first_seen_ns"],
         )
         self.flows[flow.flow_id] = flow
+        # Digest consumption is destructive (the message left the data
+        # plane's backlog): checkpoint so a crash cannot unlearn it.
+        if self._ckpt is not None:
+            self._ckpt.on_tick(self)
 
     def _on_termination(self, _name: str, payload: dict) -> None:
         fid = payload["flow_id"]
@@ -374,6 +414,8 @@ class MonitorControlPlane:
         flow = self.flows.get(fid)
         if flow is not None:
             flow.terminated = True
+        if self._ckpt is not None:
+            self._ckpt.on_tick(self)
 
     def _on_microburst(self, _name: str, payload: dict) -> None:
         max_delay = self.config.max_queue_delay_ns()
@@ -398,6 +440,8 @@ class MonitorControlPlane:
             # Who built this queue?  The culprit query runs at the next
             # forensics tick, once the burst's windows are extracted.
             self.forensics.on_microburst(event)
+        if self._ckpt is not None:
+            self._ckpt.on_tick(self)
 
     # -- extraction ticks ----------------------------------------------------------
 

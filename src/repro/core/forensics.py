@@ -68,6 +68,12 @@ class ForensicsExtractor:
         self.ticks_deferred = 0
         self.catchup_ticks = 0
         self.extractions = 0
+        # Per-level packet/byte mass folded out of the banks so far:
+        # together with the live banks' residue and the extern's
+        # eviction tallies this conserves against ``tw.ops`` (the
+        # crash-recovery invariant docs/robustness.md states).
+        self.extracted_pkts = [0] * self.levels
+        self.extracted_bytes = [0] * self.levels
         self.queries = 0
         self.suppressed = 0
         self.latest: Optional[ForensicsReport] = None
@@ -150,12 +156,18 @@ class ForensicsExtractor:
             if prof is not None:
                 prof.end()
         self.ticks += 1
+        # The bank flip was destructive: checkpoint so a crash cannot
+        # lose the windows that just left the data plane.
+        if cp._ckpt is not None:
+            cp._ckpt.on_tick(cp)
         self.arm()
 
     def _extract(self) -> None:
         self.extractions += 1
         bank = self.cp.runtime.extract_time_windows("time_windows")
         for rec in decode_windows(bank, self.base_window_ns):
+            self.extracted_pkts[rec.level] += rec.pkt_count
+            self.extracted_bytes[rec.level] += rec.byte_count
             d = self.index[rec.level]
             cur = d.get(rec.window_id)
             if cur is None:

@@ -179,6 +179,10 @@ class HistogramExtractor:
             if prof is not None:
                 prof.end()
         self.ticks += 1
+        # The bank flip was destructive: checkpoint so a crash cannot
+        # lose the window that just left the data plane.
+        if cp._ckpt is not None:
+            cp._ckpt.on_tick(cp)
         self.arm()
 
     def _extract(self) -> None:

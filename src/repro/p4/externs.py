@@ -51,6 +51,14 @@ class Digest:
             for msg in pending:
                 receiver(self.name, msg.payload)
 
+    def unsubscribe(self, receiver: DigestReceiver) -> None:
+        """Detach a receiver; messages emitted afterwards backlog again
+        (and replay to the next subscriber — the crash-recovery path)."""
+        try:
+            self.receivers.remove(receiver)
+        except ValueError:
+            pass
+
     def emit(self, **payload: Any) -> None:
         """Data-plane call: push one message."""
         self.emitted += 1

@@ -204,6 +204,20 @@ class HistogramRegister:
         self._banks[0][:] = 0
         self._banks[1][:] = 0
 
+    def load_banks(self, bank0: np.ndarray, bank1: np.ndarray,
+                   active: int) -> None:
+        """Control-plane bulk restore of both banks and the flip phase
+        (checkpoint path)."""
+        bank0 = np.asarray(bank0, dtype=np.uint64)
+        bank1 = np.asarray(bank1, dtype=np.uint64)
+        if bank0.shape != self._banks[0].shape or bank1.shape != self._banks[1].shape:
+            raise ValueError("histogram bank shape mismatch")
+        if active not in (0, 1):
+            raise ValueError("active bank must be 0 or 1")
+        self._banks[0][:] = bank0
+        self._banks[1][:] = bank1
+        self.active = active
+
     def row_quantile(self, index: int, q: float) -> float:
         """Bucket-upper-bound quantile of one row's all-time counts."""
         return bin_quantile(self.edges, self.snapshot()[index], q)

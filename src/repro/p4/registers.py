@@ -151,3 +151,10 @@ class Counter:
     def clear(self) -> None:
         self._packets[:] = 0
         self._bytes[:] = 0
+
+    def load(self, packets: np.ndarray, nbytes: np.ndarray) -> None:
+        """Control-plane bulk restore of both tallies (checkpoint path)."""
+        if len(packets) != self.size or len(nbytes) != self.size:
+            raise ValueError("counter array size mismatch")
+        self._packets[:] = np.asarray(packets, dtype=np.uint64)
+        self._bytes[:] = np.asarray(nbytes, dtype=np.uint64)

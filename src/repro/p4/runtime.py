@@ -122,6 +122,37 @@ class P4Program:
             h.update(np.ascontiguousarray(arr, dtype=np.uint64).tobytes())
         return h.hexdigest()
 
+    def state_restore(self, state: Dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`state_snapshot`: bulk-load every stateful
+        object from a snapshot taken on a program with the same geometry
+        (the checkpoint restore path).  After a restore,
+        :meth:`state_digest` equals the digest of the snapshotted
+        program."""
+        def need(key: str) -> np.ndarray:
+            try:
+                return state[key]
+            except KeyError:
+                raise KeyError(
+                    f"snapshot is missing {key!r} — was it taken on a "
+                    f"program with the same geometry as {self.name!r}?"
+                ) from None
+
+        for name, reg in self.registers.items():
+            reg.load(need(f"register/{name}"))
+        for name, cms in self.sketches.items():
+            cms.load(need(f"sketch/{name}"))
+        for name, ctr in self.counters.items():
+            ctr.load(need(f"counter/{name}/packets"),
+                     need(f"counter/{name}/bytes"))
+        for name, hist in self.histograms.items():
+            hist.load_banks(need(f"histogram/{name}/bank0"),
+                            need(f"histogram/{name}/bank1"),
+                            int(need(f"histogram/{name}/active")[0]))
+        for name, tw in self.time_windows.items():
+            tw.load_banks(need(f"time_window/{name}/bank0"),
+                          need(f"time_window/{name}/bank1"),
+                          int(need(f"time_window/{name}/active")[0]))
+
 
 class P4RuntimeClient:
     """Control-plane handle: named reads/writes plus digest subscription."""
@@ -156,6 +187,10 @@ class P4RuntimeClient:
 
     def state_digest(self) -> str:
         return self.program.state_digest()
+
+    def restore_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Bulk-load a full data-plane snapshot (checkpoint restore)."""
+        self.program.state_restore(state)
 
     def _reg(self, name: str) -> RegisterArray:
         try:
@@ -227,6 +262,17 @@ class P4RuntimeClient:
     def subscribe_digest(self, name: str, receiver: DigestReceiver) -> None:
         try:
             self.program.digests[name].subscribe(receiver)
+        except KeyError:
+            raise KeyError(
+                f"program {self.program.name!r} has no digest {name!r}; "
+                f"available: {sorted(self.program.digests)}"
+            ) from None
+
+    def unsubscribe_digest(self, name: str, receiver: DigestReceiver) -> None:
+        """Detach a receiver; unseen messages backlog for the successor
+        (how a restarted control plane catches up on digests)."""
+        try:
+            self.program.digests[name].unsubscribe(receiver)
         except KeyError:
             raise KeyError(
                 f"program {self.program.name!r} has no digest {name!r}; "

@@ -90,6 +90,14 @@ class CountMinSketch:
         """Copy of the full (depth, width) counter matrix."""
         return self._rows.copy()
 
+    def load(self, rows: np.ndarray) -> None:
+        """Control-plane bulk restore of the counter matrix (checkpoint
+        path) — hash engines are derived from geometry, not state."""
+        rows = np.asarray(rows, dtype=np.uint64)
+        if rows.shape != self._rows.shape:
+            raise ValueError("sketch matrix shape mismatch")
+        self._rows[:] = rows
+
     def clear(self) -> None:
         self._rows[:] = 0
 

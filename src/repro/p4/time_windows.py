@@ -212,3 +212,26 @@ class TimeWindowRegister:
         self._banks[1][:] = 0
         self.evicted_pkts = [0] * self.levels
         self.evicted_bytes = [0] * self.levels
+
+    def load_banks(self, bank0: np.ndarray, bank1: np.ndarray, active: int,
+                   evicted_pkts: List[int] | None = None,
+                   evicted_bytes: List[int] | None = None) -> None:
+        """Control-plane bulk restore of both banks, the flip phase, and
+        the eviction tallies (checkpoint path)."""
+        bank0 = np.asarray(bank0, dtype=np.uint64)
+        bank1 = np.asarray(bank1, dtype=np.uint64)
+        if bank0.shape != self._banks[0].shape or bank1.shape != self._banks[1].shape:
+            raise ValueError("time-window bank shape mismatch")
+        if active not in (0, 1):
+            raise ValueError("active bank must be 0 or 1")
+        self._banks[0][:] = bank0
+        self._banks[1][:] = bank1
+        self.active = active
+        if evicted_pkts is not None:
+            if len(evicted_pkts) != self.levels:
+                raise ValueError("eviction tally level-count mismatch")
+            self.evicted_pkts = [int(v) for v in evicted_pkts]
+        if evicted_bytes is not None:
+            if len(evicted_bytes) != self.levels:
+                raise ValueError("eviction tally level-count mismatch")
+            self.evicted_bytes = [int(v) for v in evicted_bytes]

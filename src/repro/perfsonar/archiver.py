@@ -76,6 +76,18 @@ class Archiver:
                 self._tel_batch.observe(len(report))
         self.tcp_input.ingest(report)
 
+    # -- checkpoint/restore ------------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """The archiver state a control-plane checkpoint must carry: the
+        dedup high-water marks (exactly-once across a crash-restart).
+        The document store itself is the durable side of the pipeline —
+        it survives the crash; only the idempotency books need saving."""
+        return {"dedup": self.dedup.checkpoint_state()}
+
+    def restore_state(self, state: dict) -> None:
+        self.dedup.restore_state(state["dedup"])
+
     # -- dashboard-style queries -----------------------------------------------
 
     def _index(self, kind: str) -> str:

@@ -23,6 +23,13 @@ harness (docs/robustness.md):
   degradation (collapse to aggregate reports, widen t_N–t_Q intervals)
   and restoration;
 - :mod:`~repro.resilience.watchdog` — extraction-tick stall detection;
+- :mod:`~repro.resilience.checkpoint` — ``repro-checkpoint-v1``
+  snapshots of everything the control-plane process holds (register
+  banks, cursors, alert/histogram/forensics state, shipper books,
+  dedup marks), captured after every destructive step and restored
+  into a fresh control plane after a crash;
+- :mod:`~repro.resilience.supervisor` — the kill/restart loop driving
+  ``cp_crash`` recovery: backoff, escalation, give-up policy;
 - :mod:`~repro.resilience.chaos` — the chaos runner: a workload
   scenario + fault schedule, run with the ground-truth oracle attached,
   asserting zero acknowledged-report loss and exactly-once archive
@@ -56,6 +63,15 @@ from repro.resilience.delivery import (
 )
 from repro.resilience.breaker import BreakerState, CircuitBreaker, DegradationPolicy
 from repro.resilience.watchdog import ExtractionWatchdog
+from repro.resilience.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointManager,
+    CheckpointStore,
+    capture_checkpoint,
+    restore_control_plane,
+    restore_dataplane,
+)
+from repro.resilience.supervisor import Supervisor, SupervisorPolicy
 
 __all__ = [
     "DeliveryError", "ArchiveUnavailable", "BackpressureError",
@@ -66,4 +82,7 @@ __all__ = [
     "DeliveryConfig", "ResilientShipper", "FaultyTransport", "SequenceDedup",
     "BreakerState", "CircuitBreaker", "DegradationPolicy",
     "ExtractionWatchdog",
+    "CHECKPOINT_SCHEMA", "CheckpointManager", "CheckpointStore",
+    "capture_checkpoint", "restore_control_plane", "restore_dataplane",
+    "Supervisor", "SupervisorPolicy",
 ]

@@ -122,6 +122,33 @@ class CircuitBreaker:
             self._open_until_ns = now_ns + self.open_interval_ns
             self._transition(now_ns, BreakerState.OPEN)
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """JSON-able snapshot: state machine position + transition log."""
+        return {
+            "state": self.state.value,
+            "consecutive_failures": self._consecutive_failures,
+            "half_open_successes": self._half_open_successes,
+            "probes_available": self._probes_available,
+            "open_until_ns": self._open_until_ns,
+            "transitions": [[ns, old.value, new.value]
+                            for ns, old, new in self.transitions],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a checkpointed breaker's position *silently* — no
+        listener fires (the restored control plane's degraded flag is
+        restored separately, from the same checkpoint)."""
+        self.state = BreakerState(state["state"])
+        self._consecutive_failures = int(state["consecutive_failures"])
+        self._half_open_successes = int(state["half_open_successes"])
+        self._probes_available = int(state["probes_available"])
+        self._open_until_ns = int(state["open_until_ns"])
+        self.transitions = [
+            (int(ns), BreakerState(old), BreakerState(new))
+            for ns, old, new in state["transitions"]]
+
     # -- introspection ---------------------------------------------------------
 
     def saw_state(self, state: BreakerState) -> bool:

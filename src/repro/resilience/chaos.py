@@ -30,11 +30,13 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
-from dataclasses import dataclass, field
+import tempfile
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from repro.netsim.units import seconds
 from repro.perfsonar.archiver import Archiver
+from repro.resilience import checkpoint
 from repro.resilience.breaker import (
     BreakerState,
     CircuitBreaker,
@@ -46,7 +48,8 @@ from repro.resilience.delivery import (
     ResilientShipper,
 )
 from repro.resilience.faults import FaultInjector, install, uninstall
-from repro.resilience.schedule import FaultSchedule, bundled_schedules
+from repro.resilience.schedule import FaultSchedule, FaultWindow, bundled_schedules
+from repro.resilience.supervisor import Supervisor, SupervisorPolicy
 from repro.resilience.watchdog import ExtractionWatchdog
 from repro.validation.scenarios import FlowSpec, ScenarioSpec
 
@@ -266,11 +269,18 @@ def _archive_digest(store) -> str:
     return h.hexdigest()
 
 
-def run_chaos(spec: ChaosSpec) -> ChaosResult:
-    """Run one chaos scenario end to end and settle the books."""
+def run_chaos(spec: ChaosSpec, _capture: Optional[dict] = None) -> ChaosResult:
+    """Run one chaos scenario end to end and settle the books.
+
+    ``_capture`` is an internal hook: when a dict is passed, the built
+    :class:`~repro.validation.scenarios.ValidationRun` is stashed under
+    ``"run"`` so :func:`run_crash_chaos` can compare its crashed run
+    against this uncrashed twin's data-plane tallies."""
     injector = install(FaultInjector(spec.schedule))
     try:
         run = spec.scenario.build()
+        if _capture is not None:
+            _capture["run"] = run
         sim = run.scenario.sim
         injector.bind_clock(lambda: sim.now)
 
@@ -319,6 +329,8 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
         missing = sorted(shipper.acked_seqs - archived_set)
 
         oracle_report = run.check()
+        if _capture is not None:
+            _capture["oracle_report"] = oracle_report
 
         result = ChaosResult(
             spec=spec,
@@ -351,6 +363,394 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
         return result
     finally:
         uninstall()
+
+
+# -- crash recovery (cp_crash + supervisor + checkpoint restore) ---------------
+
+def with_crash(spec: ChaosSpec, start_s: Optional[float] = None,
+               duration_s: float = 0.6) -> ChaosSpec:
+    """Clone a chaos spec with a mid-run ``cp_crash`` window appended
+    (and the histogram/forensics externs enabled, so the no-lost-window
+    conservation invariants are checkable across the restart)."""
+    scenario = spec.scenario.clone(histograms=True, forensics=True)
+    schedule = spec.schedule.clone()
+    if start_s is None:
+        start_s = round(0.4 * scenario.duration_s, 3)
+    schedule.windows.append(FaultWindow("cp_crash", start_s, duration_s))
+    schedule.validate()
+    return replace(spec, scenario=scenario, schedule=schedule)
+
+
+@dataclass
+class _CrashStack:
+    """One control-plane incarnation: what a process holds, what dies
+    with it.  Dead stacks are retained for the settle phase (their ack
+    books prove no acknowledged report went missing)."""
+
+    cp: object
+    shipper: ResilientShipper
+    breaker: CircuitBreaker
+    policy: DegradationPolicy
+    watchdog: ExtractionWatchdog
+
+
+@dataclass
+class RecoveryResult(ChaosResult):
+    """A :class:`ChaosResult` plus the crash-recovery books."""
+
+    kills: int = 0
+    restarts: int = 0
+    failed_attempts: int = 0
+    escalations: int = 0
+    gave_up: bool = False
+    checkpoints_written: int = 0
+    checkpoints_skipped: int = 0
+    conservation_failures: List[str] = field(default_factory=list)
+    twin_failures: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return (ChaosResult.passed.fget(self)
+                and not self.gave_up
+                and self.kills >= 1
+                and self.restarts == self.kills
+                and not self.conservation_failures
+                and not self.twin_failures)
+
+    def failures(self) -> List[str]:
+        out = ChaosResult.failures(self)
+        if self.gave_up:
+            out.append("supervisor gave up restarting the control plane")
+        if self.kills < 1:
+            out.append("no cp_crash kill was ever injected")
+        elif self.restarts != self.kills:
+            out.append(f"{self.kills} kills but {self.restarts} restarts")
+        out.extend(self.conservation_failures)
+        out.extend(self.twin_failures)
+        return out
+
+    def summary(self) -> str:
+        lines = ChaosResult.summary(self).splitlines()
+        lines.insert(1, (
+            f"  recovery: kills={self.kills} restarts={self.restarts} "
+            f"failed-attempts={self.failed_attempts} "
+            f"escalations={self.escalations} "
+            f"checkpoints={self.checkpoints_written} "
+            f"(+{self.checkpoints_skipped} rate-limited)"))
+        return "\n".join(lines)
+
+    def to_jsonable(self) -> dict:
+        doc = ChaosResult.to_jsonable(self)
+        doc.update({
+            "kills": self.kills,
+            "restarts": self.restarts,
+            "failed_attempts": self.failed_attempts,
+            "escalations": self.escalations,
+            "gave_up": self.gave_up,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoints_skipped": self.checkpoints_skipped,
+            "conservation_failures": self.conservation_failures,
+            "twin_failures": self.twin_failures,
+            "passed": self.passed,
+            "failures": self.failures(),
+        })
+        return doc
+
+
+def _conservation_failures(cp) -> List[str]:
+    """The no-lost-window invariants over one finished run: every packet
+    the data plane binned is either in the control plane's cumulative
+    books, still in the live banks, or (time windows only) counted as a
+    data-plane eviction.  A crash-restart that lost a flipped bank or
+    double-restored one breaks these exactly."""
+    from repro.p4.time_windows import decode_windows
+
+    out: List[str] = []
+    h = cp.histograms
+    if h is not None:
+        for label, hist, cumulative in (
+                ("rtt", cp.monitor.rtt_loss.rtt_hist, h.rtt_cumulative),
+                ("qdepth", cp.monitor.queue.qdepth_hist, h.qdepth_cumulative)):
+            residue = int(hist.bank(0).sum()) + int(hist.bank(1).sum())
+            total = int(cumulative.sum()) + residue
+            if total != hist.ops:
+                out.append(
+                    f"histogram[{label}]: extracted+residue={total} != "
+                    f"observed={hist.ops} (lost or double-counted window)")
+    f = cp.forensics
+    if f is not None:
+        tw = cp.monitor.queue.time_windows
+        residue = [0] * tw.levels
+        for bank in (tw.bank(0), tw.bank(1)):
+            for rec in decode_windows(bank, tw.base_window_ns):
+                residue[rec.level] += rec.pkt_count
+        for level in range(tw.levels):
+            total = (f.extracted_pkts[level] + residue[level]
+                     + tw.evicted_pkts[level])
+            if total != tw.ops:
+                out.append(
+                    f"time_window[L{level}]: extracted+residue+evicted="
+                    f"{total} != observed={tw.ops} (lost window)")
+    return out
+
+
+def run_crash_chaos(spec: ChaosSpec,
+                    checkpoint_dir: Optional[str] = None,
+                    policy: Optional[SupervisorPolicy] = None,
+                    checkpoint_retain: int = 4,
+                    min_interval_ns: int = 0,
+                    run_twin: bool = True) -> RecoveryResult:
+    """Run one chaos scenario whose schedule kills the control plane
+    mid-run, restart it from the latest checkpoint under a
+    :class:`~repro.resilience.supervisor.Supervisor`, and settle the
+    recovery books on top of the usual chaos invariants:
+
+    - every kill is matched by a restart (no give-up);
+    - zero acknowledged-report loss across *all* incarnations;
+    - exactly-once archive contents (redelivered spool entries dedup
+      against their original ``(source, seq)`` keys);
+    - no read-flip window lost: histogram and time-window packet mass
+      conserves against the data plane's observe counters;
+    - the differential oracle stays green, and the data-plane tallies
+      match an uncrashed twin run of the same workload.  The twin is
+      the experimental control: an oracle check failing in both runs is
+      attributed to the workload (reported, but not a recovery failure);
+      a check failing only in the crashed run fails the verdict.
+    """
+    if not spec.schedule.has("cp_crash"):
+        raise ValueError(
+            "schedule has no cp_crash window; add one with with_crash()")
+    tmp = None
+    if checkpoint_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-checkpoints-")
+        checkpoint_dir = tmp.name
+    manager = checkpoint.install_manager(checkpoint.CheckpointManager(
+        checkpoint.CheckpointStore(checkpoint_dir, retain=checkpoint_retain),
+        min_interval_ns=min_interval_ns))
+    injector = install(FaultInjector(spec.schedule))
+    supervisor = None
+    try:
+        run = spec.scenario.build()
+        sim = run.scenario.sim
+        injector.bind_clock(lambda: sim.now)
+
+        archiver = Archiver()
+
+        def build_delivery(source: str):
+            breaker = CircuitBreaker(
+                failure_threshold=spec.failure_threshold,
+                open_interval_ns=int(spec.open_interval_ms * 1e6))
+            shipper = ResilientShipper(
+                sim, FaultyTransport(archiver.sink),
+                config=spec.delivery_config(), breaker=breaker,
+                source=source, seed=spec.schedule.seed)
+            return breaker, shipper
+
+        # Incarnation 0: the scenario-built control plane (it bound the
+        # installed manager at construction), wired into the delivery
+        # path exactly as run_chaos does.
+        cp0 = run.scenario.control_plane
+        breaker0, shipper0 = build_delivery("p4-controlplane")
+        cp0.report_sink = shipper0
+        stack0 = _CrashStack(
+            cp=cp0, shipper=shipper0, breaker=breaker0,
+            policy=DegradationPolicy(
+                breaker0, cp0, interval_scale=spec.degraded_interval_scale),
+            watchdog=ExtractionWatchdog(sim, cp0))
+
+        def start_fn(incarnation: int) -> _CrashStack:
+            # Rebuild the whole process-side stack from the newest intact
+            # checkpoint.  The data plane is switch hardware — it kept
+            # its registers and backlogged its digests; only the
+            # process state is restored.  The successor shipper keeps a
+            # fresh source name so its new envelopes can never collide
+            # with a dead incarnation's (source, seq) dedup keys.
+            from repro.core.control_plane import MonitorControlPlane
+            doc = manager.store.latest()
+            breaker, shipper = build_delivery(
+                f"p4-controlplane:r{incarnation}")
+            new_cp = MonitorControlPlane(sim, run.scenario.monitor,
+                                         report_sink=None)
+            if doc is not None:
+                checkpoint.restore_control_plane(new_cp, doc)
+                if "shipper" in doc:
+                    shipper.restore_state(doc["shipper"])
+                if "breaker" in doc:
+                    breaker.restore_state(doc["breaker"])
+            new_cp.report_sink = shipper
+            new_policy = DegradationPolicy(
+                breaker, new_cp, interval_scale=spec.degraded_interval_scale)
+            new_watchdog = ExtractionWatchdog(sim, new_cp)
+            new_cp.start()
+            # The oracle checker and the settle phase read the scenario's
+            # control plane: the newest incarnation owns the books.
+            run.scenario.control_plane = new_cp
+            return _CrashStack(cp=new_cp, shipper=shipper, breaker=breaker,
+                               policy=new_policy, watchdog=new_watchdog)
+
+        def stop_fn(stack: _CrashStack) -> None:
+            stack.cp.stop()
+            stack.watchdog.cancel()
+            stack.shipper.close()
+
+        supervisor = Supervisor(
+            sim, injector, start_fn, stop_fn, policy=policy, manager=manager,
+            escalate_fn=lambda stack: stack.cp.set_degraded(
+                True, interval_scale=spec.degraded_interval_scale))
+        supervisor.adopt(stack0)
+        # Crash-before-first-tick safety: one explicit capture so the
+        # store is never empty when the supervisor needs it.
+        manager.capture(cp0)
+
+        run.run()
+
+        now_s = max(spec.scenario.end_s, spec.schedule.end_s)
+        deadline_s = now_s + spec.drain_s
+        while now_s < deadline_s:
+            now_s = min(now_s + _DRAIN_STEP_S, deadline_s)
+            sim.run_until(seconds(now_s))
+            live = supervisor.stack
+            if live is None:
+                continue
+            live.shipper.redeliver_dead_letters()
+            live.shipper.kick()
+            if live.shipper.pending == 0 and not live.shipper.dead_letters:
+                break
+        supervisor.cancel()
+        final = supervisor.stack
+        stacks = list(supervisor.dead) + ([final] if final is not None else [])
+        if final is not None:
+            final.cp.stop()
+            final.watchdog.cancel()
+            final.shipper.redeliver_dead_letters()
+            final.shipper.kick()
+
+        # -- settle the books across every incarnation ------------------------
+        archived_keys: List[tuple] = []
+        for index in archiver.store.indices:
+            for doc in archiver.store.search(index):
+                if "_seq" in doc:
+                    archived_keys.append((doc.get("_shipper"), doc["_seq"]))
+        archived_set = set(archived_keys)
+        duplicate_seqs = sorted({seq for key in archived_set
+                                 for _, seq in [key]
+                                 if archived_keys.count(key) > 1})
+        acked_keys = set()
+        for stack in stacks:
+            acked_keys |= stack.shipper.acked_keys
+        missing = sorted(seq for _, seq in acked_keys - archived_set)
+
+        final_cp = run.scenario.control_plane
+        conservation = _conservation_failures(final_cp)
+        oracle_report = run.check()
+
+        twin_failures: List[str] = []
+        oracle_passed = oracle_report.passed
+        oracle_failures = [str(f) for f in oracle_report.failures]
+        if run_twin:
+            # The uncrashed twin: same workload, same schedule minus the
+            # crash windows, no checkpointing installed.  The monitor is
+            # a passive tap, so the packet stream — and therefore the
+            # data plane's observe counters — must match exactly.
+            checkpoint.uninstall_manager()
+            uninstall()
+            twin_schedule = spec.schedule.clone()
+            twin_schedule.windows = [w for w in twin_schedule.windows
+                                     if w.kind != "cp_crash"]
+            twin_spec = replace(spec, schedule=twin_schedule)
+            cap: dict = {}
+            run_chaos(twin_spec, _capture=cap)
+            # The twin is the experimental control: an oracle check that
+            # fails in BOTH runs is a property of the workload + faults
+            # (e.g. a histogram accuracy tolerance on this traffic mix),
+            # not of crash recovery.  Only failures unique to the
+            # crashed run indict the recovery path; shared ones stay
+            # visible in the report, attributed to the workload.
+            twin_report = cap.get("oracle_report")
+            twin_failed = ({(f.metric, f.subject)
+                            for f in twin_report.failures}
+                           if twin_report is not None else set())
+            excess = [f for f in oracle_report.failures
+                      if (f.metric, f.subject) not in twin_failed]
+            shared = [f for f in oracle_report.failures
+                      if (f.metric, f.subject) in twin_failed]
+            oracle_passed = not excess
+            oracle_failures = [str(f) for f in excess] + [
+                f"{f} [also fails in the uncrashed twin: workload-"
+                "inherent, not recovery-caused]" for f in shared]
+            twin_monitor = cap["run"].scenario.monitor
+            crashed_monitor = run.scenario.monitor
+            pairs = []
+            if crashed_monitor.rtt_loss.rtt_hist is not None \
+                    and twin_monitor.rtt_loss.rtt_hist is not None:
+                pairs.append(("rtt_hist ops",
+                              crashed_monitor.rtt_loss.rtt_hist.ops,
+                              twin_monitor.rtt_loss.rtt_hist.ops))
+            if crashed_monitor.queue.time_windows is not None \
+                    and twin_monitor.queue.time_windows is not None:
+                pairs.append(("time_window ops",
+                              crashed_monitor.queue.time_windows.ops,
+                              twin_monitor.queue.time_windows.ops))
+            for label, crashed_v, twin_v in pairs:
+                if crashed_v != twin_v:
+                    twin_failures.append(
+                        f"twin divergence: {label} crashed={crashed_v} "
+                        f"twin={twin_v} (the crash leaked into the "
+                        f"packet stream)")
+
+        final_shipper = final.shipper if final is not None else stacks[-1].shipper
+        result = RecoveryResult(
+            spec=spec,
+            shipped=final_shipper.shipped_total,
+            acked=final_shipper.acked_total,
+            archived_unique=len(archived_set),
+            archived_duplicate_seqs=duplicate_seqs,
+            missing_acked_seqs=missing,
+            still_pending=(final_shipper.pending
+                           + len(final_shipper.dead_letters)
+                           if final is not None else 0),
+            dead_letter_evictions=sum(
+                s.shipper.dead_letter_evictions for s in stacks),
+            duplicates_dropped=archiver.output.duplicates_dropped,
+            malformed_dropped=archiver.tcp_input.malformed,
+            shipper_stats=final_shipper.stats(),
+            injections=dict(injector.injections),
+            breaker_transitions=list(
+                (final.breaker if final is not None else stacks[-1].breaker)
+                .transitions),
+            breaker_summary=(final.breaker if final is not None
+                             else stacks[-1].breaker).summary(),
+            degrade_events=sum(s.policy.degrade_events for s in stacks),
+            restore_events=sum(s.policy.restore_events for s in stacks),
+            watchdog_stalls=sum(s.watchdog.total_stalls for s in stacks),
+            ticks_deferred=sum(final_cp.ticks_deferred.values()),
+            catchup_ticks=sum(final_cp.catchup_ticks.values()),
+            reports_suppressed=final_cp.reports_suppressed,
+            oracle_passed=oracle_passed,
+            oracle_failures=oracle_failures,
+            oracle_checks=len(oracle_report.results),
+            archive_digest=_archive_digest(archiver.store),
+            kills=supervisor.kills,
+            restarts=supervisor.restarts,
+            failed_attempts=supervisor.failed_attempts,
+            escalations=supervisor.escalations,
+            gave_up=supervisor.gave_up,
+            checkpoints_written=manager.captures,
+            checkpoints_skipped=manager.skipped,
+            conservation_failures=conservation,
+            twin_failures=twin_failures,
+        )
+        log.info("crash chaos seed=%d: %s (kills=%d restarts=%d)",
+                 spec.schedule.seed, "PASS" if result.passed else "FAIL",
+                 result.kills, result.restarts)
+        return result
+    finally:
+        if supervisor is not None:
+            supervisor.cancel()
+        checkpoint.uninstall_manager()
+        uninstall()
+        if tmp is not None:
+            tmp.cleanup()
 
 
 def write_artifact(result: ChaosResult, path: str) -> None:

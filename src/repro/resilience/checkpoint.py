@@ -1,0 +1,518 @@
+"""Checkpoint/restore for the monitor control plane (crash recovery).
+
+The crash model (docs/robustness.md "Crash recovery"): the data plane
+is switch hardware and survives a control-plane crash; everything the
+control-plane *process* holds — extraction cursors, tracked flows,
+alert/hysteresis state, histogram and forensics indexes, the shipper's
+spool and sequence books, the archiver's dedup high-water marks — dies
+with it.  Recovery is lossless iff every piece of state the process has
+*irreversibly taken* from the data plane (flipped read-flip banks,
+consumed digests, cleared peak-hold registers) is on disk before the
+next destructive step.  The control plane therefore ends each
+destructive step with :meth:`CheckpointManager.on_tick`, and the
+read-flip discipline keeps the un-extracted remainder in the live banks
+by construction: crash at any instant, restore the latest checkpoint,
+and nothing is double-counted or lost.
+
+One checkpoint is a single ``repro-checkpoint-v1`` JSON document:
+numpy register banks as base64 blobs, reports through a dataclass
+codec, the whole document content-digested (sha256 over the canonical
+serialisation minus the digest field) and written atomically
+(tmp + ``os.replace``) into a retained, pruned
+:class:`CheckpointStore`.  :func:`restore_control_plane` rebuilds a
+freshly-constructed control plane from a document;
+:func:`restore_dataplane` additionally bulk-loads a same-geometry
+:class:`~repro.p4.runtime.P4Program` (the cold-start path the CLI
+``recover`` smoke exercises) and verifies digest equality.
+
+Construction-time binding, same contract as the fault injector: the
+control plane resolves :func:`manager` once in ``__init__``; with no
+manager installed every hook is one ``is None`` test.
+
+Import discipline: this module is imported *by* ``repro.core`` — at
+module level it may touch only the stdlib, numpy and
+``repro.telemetry``; every ``repro.core`` name is imported lazily
+inside the functions that need it.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import json
+import logging
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import telemetry
+
+log = logging.getLogger("repro.resilience.checkpoint")
+
+CHECKPOINT_SCHEMA = "repro-checkpoint-v1"
+
+
+# -- array + document codec ----------------------------------------------------
+
+def _encode_array(arr: np.ndarray) -> dict:
+    arr = np.ascontiguousarray(arr)
+    return {
+        "dtype": str(arr.dtype),
+        "shape": list(arr.shape),
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_array(doc: dict) -> np.ndarray:
+    flat = np.frombuffer(base64.b64decode(doc["data"]),
+                         dtype=np.dtype(doc["dtype"]))
+    return flat.reshape(doc["shape"]).copy()
+
+
+def content_digest(doc: dict) -> str:
+    """sha256 over the canonical serialisation, excluding the digest
+    field itself — what :meth:`CheckpointStore.load` verifies before
+    trusting a file that may have been torn by the crash."""
+    body = {k: v for k, v in doc.items() if k != "digest"}
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# -- report codec --------------------------------------------------------------
+
+def _report_classes() -> dict:
+    from repro.core import reports
+    return {cls.__name__: cls for cls in (
+        reports.FlowSample, reports.AggregateSample, reports.MicroburstEvent,
+        reports.FlowTerminationReport, reports.Alert, reports.HistogramReport,
+        reports.ForensicsReport, reports.LimiterReport)}
+
+
+def _encode_report(report) -> dict:
+    doc = dataclasses.asdict(report)
+    if "verdict" in doc:
+        doc["verdict"] = report.verdict.value
+    doc["_cls"] = type(report).__name__
+    return doc
+
+
+def _decode_report(doc: dict):
+    doc = dict(doc)
+    cls = _report_classes()[doc.pop("_cls")]
+    if "verdict" in doc:
+        from repro.core.reports import LimiterVerdict
+        doc["verdict"] = LimiterVerdict(doc["verdict"])
+    return cls(**doc)
+
+
+def _encode_flow(flow) -> dict:
+    doc = dataclasses.asdict(flow)
+    doc["verdict"] = flow.verdict.value
+    return doc
+
+
+def _decode_flow(doc: dict):
+    from repro.core.control_plane import TrackedFlow
+    from repro.core.reports import LimiterVerdict
+    doc = dict(doc)
+    doc["verdict"] = LimiterVerdict(doc["verdict"])
+    return TrackedFlow(**doc)
+
+
+# -- capture -------------------------------------------------------------------
+
+def capture_checkpoint(cp, dedup=None, seq: int = 0) -> dict:
+    """Serialise everything one control plane + delivery path would need
+    to resume after a crash.  ``cp`` is the *calling* control plane (the
+    manager deliberately holds no reference: compare-paths builds two
+    control planes against one installed manager)."""
+    program = cp.runtime.program
+
+    dataplane = {name: _encode_array(arr)
+                 for name, arr in sorted(program.state_snapshot().items())}
+
+    # Extern tallies the digest deliberately excludes (they are derived
+    # bookkeeping, not register bits): needed so a cold-start restore
+    # conserves packets exactly.
+    externs: Dict[str, dict] = {}
+    for name, hist in program.histograms.items():
+        externs[f"histogram/{name}"] = {"ops": hist.ops}
+    for name, tw in program.time_windows.items():
+        externs[f"time_window/{name}"] = {
+            "ops": tw.ops,
+            "evicted_pkts": [int(v) for v in tw.evicted_pkts],
+            "evicted_bytes": [int(v) for v in tw.evicted_bytes],
+        }
+
+    control_plane = {
+        "cursors": {k.value: int(v) for k, v in cp.last_extraction_ns.items()},
+        "ticks_deferred": {k.value: v for k, v in cp.ticks_deferred.items()},
+        "catchup_ticks": {k.value: v for k, v in cp.catchup_ticks.items()},
+        "reports_suppressed": cp.reports_suppressed,
+        "degraded": cp.degraded,
+        "interval_scale": cp.interval_scale,
+        "flows": [_encode_flow(f) for f in cp.flows.values()],
+        "alerts": {
+            "active": [[kind.value, flow_id, _encode_report(alert)]
+                       for (kind, flow_id), alert in cp.alerts._active.items()],
+            "history": [_encode_report(a) for a in cp.alerts.history],
+        },
+        "limiter": {str(fid): [[flight, loss] for flight, loss in hist.samples]
+                    for fid, hist in cp.limiter._history.items()},
+        "archives": {
+            "flow_samples": {k.value: [_encode_report(s) for s in samples]
+                             for k, samples in cp.flow_samples.items()},
+            "jitter_samples": [_encode_report(s) for s in cp.jitter_samples],
+            "aggregate_samples": [_encode_report(s) for s in cp.aggregate_samples],
+            "microbursts": [_encode_report(e) for e in cp.microbursts],
+            "terminations": [_encode_report(r) for r in cp.terminations],
+            "limiter_reports": [_encode_report(r) for r in cp.limiter_reports],
+            "histogram_reports": [_encode_report(r) for r in cp.histogram_reports],
+            "forensics_reports": [_encode_report(r) for r in cp.forensics_reports],
+        },
+    }
+
+    doc = {
+        "schema": CHECKPOINT_SCHEMA,
+        "seq": seq,
+        "time_ns": int(cp.sim.now),
+        "dataplane": dataplane,
+        "dataplane_digest": program.state_digest(),
+        "externs": externs,
+        "control_plane": control_plane,
+    }
+
+    h = cp.histograms
+    if h is not None:
+        doc["histograms"] = {
+            "rtt_cumulative": _encode_array(h.rtt_cumulative),
+            "qdepth_cumulative": _encode_array(h.qdepth_cumulative),
+            "prev_rtt_window": (None if h._prev_rtt_window is None
+                                else _encode_array(h._prev_rtt_window)),
+            "ticks": h.ticks,
+            "ticks_deferred": h.ticks_deferred,
+            "catchup_ticks": h.catchup_ticks,
+            "change_points": [_encode_report(a) for a in h.change_points],
+            "latest": {str(fid): row for fid, row in h.latest.items()},
+            "latest_all": h.latest_all,
+        }
+
+    f = cp.forensics
+    if f is not None:
+        doc["forensics"] = {
+            "index": [[[wid, [int(v) for v in entry]]
+                       for wid, entry in sorted(level.items())]
+                      for level in f.index],
+            "ticks": f.ticks,
+            "ticks_deferred": f.ticks_deferred,
+            "catchup_ticks": f.catchup_ticks,
+            "extractions": f.extractions,
+            "extracted_pkts": list(f.extracted_pkts),
+            "extracted_bytes": list(f.extracted_bytes),
+            "queries": f.queries,
+            "suppressed": f.suppressed,
+            "pending": [list(item) for item in f._pending],
+            "latest": None if f.latest is None else _encode_report(f.latest),
+        }
+
+    shipper = cp.report_sink
+    if shipper is not None and hasattr(shipper, "checkpoint_state"):
+        doc["shipper"] = shipper.checkpoint_state()
+        breaker = getattr(shipper, "breaker", None)
+        if breaker is not None and hasattr(breaker, "checkpoint_state"):
+            doc["breaker"] = breaker.checkpoint_state()
+
+    if dedup is not None:
+        doc["dedup"] = dedup.checkpoint_state()
+
+    return doc
+
+
+# -- restore -------------------------------------------------------------------
+
+def _check_schema(doc: dict) -> None:
+    schema = doc.get("schema")
+    if schema != CHECKPOINT_SCHEMA:
+        raise ValueError(
+            f"not a {CHECKPOINT_SCHEMA} document (schema={schema!r})")
+
+
+def restore_control_plane(cp, doc: dict) -> None:
+    """Rebuild a freshly-constructed (ideally not-yet-started) control
+    plane from a checkpoint.  The extraction cursors of the dead
+    incarnation are parked in ``_resume_cursors`` so the first
+    post-restart tick windows over the true elapsed time — one bounded
+    catch-up window spanning the downtime, never a mis-windowed rate."""
+    from repro.core.config import MetricKind
+
+    _check_schema(doc)
+    sec = doc["control_plane"]
+
+    cursors = {MetricKind(k): int(v) for k, v in sec["cursors"].items()}
+    if cp._running:
+        cp.last_extraction_ns.update(cursors)
+    else:
+        cp._resume_cursors = cursors
+    cp.ticks_deferred.update(
+        {MetricKind(k): int(v) for k, v in sec["ticks_deferred"].items()})
+    cp.catchup_ticks.update(
+        {MetricKind(k): int(v) for k, v in sec["catchup_ticks"].items()})
+    cp.reports_suppressed = int(sec["reports_suppressed"])
+    cp.set_degraded(bool(sec["degraded"]),
+                    interval_scale=max(1.0, float(sec["interval_scale"])))
+
+    cp.flows = {}
+    for fdoc in sec["flows"]:
+        flow = _decode_flow(fdoc)
+        cp.flows[flow.flow_id] = flow
+
+    cp.alerts._active = {
+        (MetricKind(kind), flow_id): _decode_report(alert)
+        for kind, flow_id, alert in sec["alerts"]["active"]}
+    cp.alerts.history = [_decode_report(a) for a in sec["alerts"]["history"]]
+
+    cp.limiter._history.clear()
+    for fid, samples in sec["limiter"].items():
+        for flight, loss in samples:
+            cp.limiter.observe(int(fid), flight, int(loss))
+
+    archives = sec["archives"]
+    cp.flow_samples = {
+        MetricKind(k): [_decode_report(s) for s in samples]
+        for k, samples in archives["flow_samples"].items()}
+    for kind in MetricKind:          # a young checkpoint may miss kinds
+        cp.flow_samples.setdefault(kind, [])
+    cp.jitter_samples = [_decode_report(s) for s in archives["jitter_samples"]]
+    cp.aggregate_samples = [_decode_report(s)
+                            for s in archives["aggregate_samples"]]
+    cp.microbursts = [_decode_report(e) for e in archives["microbursts"]]
+    cp.terminations = [_decode_report(r) for r in archives["terminations"]]
+    cp.limiter_reports = [_decode_report(r)
+                          for r in archives["limiter_reports"]]
+    cp.histogram_reports = [_decode_report(r)
+                            for r in archives["histogram_reports"]]
+    cp.forensics_reports = [_decode_report(r)
+                            for r in archives["forensics_reports"]]
+
+    h = cp.histograms
+    hsec = doc.get("histograms")
+    if h is not None and hsec is not None:
+        h.rtt_cumulative = _decode_array(hsec["rtt_cumulative"])
+        h.qdepth_cumulative = _decode_array(hsec["qdepth_cumulative"])
+        h._prev_rtt_window = (
+            None if hsec["prev_rtt_window"] is None
+            else _decode_array(hsec["prev_rtt_window"]))
+        h.ticks = int(hsec["ticks"])
+        h.ticks_deferred = int(hsec["ticks_deferred"])
+        h.catchup_ticks = int(hsec["catchup_ticks"])
+        h.change_points = [_decode_report(a) for a in hsec["change_points"]]
+        h.latest = {int(fid): row for fid, row in hsec["latest"].items()}
+        h.latest_all = hsec["latest_all"]
+
+    f = cp.forensics
+    fsec = doc.get("forensics")
+    if f is not None and fsec is not None:
+        f.index = [{int(wid): list(entry) for wid, entry in level}
+                   for level in fsec["index"]]
+        while len(f.index) < f.levels:
+            f.index.append({})
+        f.ticks = int(fsec["ticks"])
+        f.ticks_deferred = int(fsec["ticks_deferred"])
+        f.catchup_ticks = int(fsec["catchup_ticks"])
+        f.extractions = int(fsec["extractions"])
+        f.extracted_pkts = [int(v) for v in fsec["extracted_pkts"]]
+        f.extracted_bytes = [int(v) for v in fsec["extracted_bytes"]]
+        f.queries = int(fsec["queries"])
+        f.suppressed = int(fsec["suppressed"])
+        f._pending = [tuple(item) for item in fsec["pending"]]
+        f.latest = (None if fsec["latest"] is None
+                    else _decode_report(fsec["latest"]))
+
+
+def restore_dataplane(program, doc: dict) -> str:
+    """Cold-start path: bulk-load a same-geometry program's registers
+    from a checkpoint and verify the restored state digests equal to the
+    captured one.  Unnecessary after a mere control-plane crash (switch
+    hardware keeps its registers); this is for bringing a *replacement*
+    process+model up to the checkpointed world."""
+    _check_schema(doc)
+    state = {name: _decode_array(enc)
+             for name, enc in doc["dataplane"].items()}
+    program.state_restore(state)
+    for key, tallies in doc.get("externs", {}).items():
+        kind, _, name = key.partition("/")
+        if kind == "histogram" and name in program.histograms:
+            program.histograms[name].ops = int(tallies["ops"])
+        elif kind == "time_window" and name in program.time_windows:
+            tw = program.time_windows[name]
+            tw.ops = int(tallies["ops"])
+            tw.evicted_pkts = [int(v) for v in tallies["evicted_pkts"]]
+            tw.evicted_bytes = [int(v) for v in tallies["evicted_bytes"]]
+    digest = program.state_digest()
+    expected = doc["dataplane_digest"]
+    if digest != expected:
+        raise ValueError(
+            f"restored data-plane digest {digest[:12]} != checkpointed "
+            f"{expected[:12]} — geometry mismatch between {program.name!r} "
+            "and the checkpointed program?")
+    return digest
+
+
+# -- the on-disk store ---------------------------------------------------------
+
+class CheckpointStore:
+    """Retained directory of content-digested checkpoint files.
+
+    Writes are atomic (tmp + ``os.replace``): a crash mid-write leaves
+    either the previous file set or the new one, never a torn document.
+    ``latest()`` walks newest-first and skips anything whose digest
+    fails, so recovery always finds the newest *intact* checkpoint."""
+
+    def __init__(self, directory: str, retain: int = 4) -> None:
+        if retain < 1:
+            raise ValueError("retain must be >= 1")
+        self.directory = directory
+        self.retain = retain
+        os.makedirs(directory, exist_ok=True)
+        self.writes = 0
+        self.pruned = 0
+
+    def paths(self) -> List[str]:
+        names = sorted(n for n in os.listdir(self.directory)
+                       if n.startswith("checkpoint-") and n.endswith(".json"))
+        return [os.path.join(self.directory, n) for n in names]
+
+    def write(self, doc: dict) -> str:
+        doc = dict(doc)
+        doc["digest"] = content_digest(doc)
+        path = os.path.join(self.directory,
+                            f"checkpoint-{int(doc['seq']):08d}.json")
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self.writes += 1
+        for stale in self.paths()[:-self.retain]:
+            os.unlink(stale)
+            self.pruned += 1
+        return path
+
+    def load(self, path: str) -> dict:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if doc.get("digest") != content_digest(doc):
+            raise ValueError(f"checkpoint {path} failed its content digest "
+                             "(torn or tampered)")
+        _check_schema(doc)
+        return doc
+
+    def latest(self) -> Optional[dict]:
+        for path in reversed(self.paths()):
+            try:
+                return self.load(path)
+            except (ValueError, KeyError, json.JSONDecodeError, OSError) as exc:
+                log.warning("skipping unusable checkpoint %s: %s", path, exc)
+        return None
+
+    def next_seq(self) -> int:
+        """One past the highest sequence already on disk (0 when empty).
+        A manager over a non-empty store — a restarted process, or a new
+        run sharing a checkpoint directory — must continue the numbering:
+        ``latest()`` orders by sequence, so a fresh manager restarting at
+        0 would leave a *stale* prior-run checkpoint as the newest."""
+        seqs = []
+        for path in self.paths():
+            stem = os.path.basename(path)[len("checkpoint-"):-len(".json")]
+            try:
+                seqs.append(int(stem))
+            except ValueError:
+                continue
+        return max(seqs) + 1 if seqs else 0
+
+
+# -- the manager (the installed global hook) -----------------------------------
+
+class CheckpointManager:
+    """Capture policy + store binding the control plane's ``on_tick``
+    hook drives.  ``min_interval_ns`` rate-limits captures (0 = capture
+    at every destructive step, the lossless default; anything larger
+    trades a bounded recovery gap for less write amplification)."""
+
+    def __init__(self, store: CheckpointStore,
+                 min_interval_ns: int = 0) -> None:
+        self.store = store
+        self.min_interval_ns = min_interval_ns
+        self.seq = store.next_seq()
+        self.captures = 0
+        self.skipped = 0
+        self.last_path: Optional[str] = None
+        self.last_time_ns: Optional[int] = None
+        self._last_capture_ns: Optional[int] = None
+        self._dedup = None
+        self._tel_captures = None
+        if telemetry.enabled():
+            self._tel_captures = telemetry.counter(
+                "repro_checkpoints_total",
+                "checkpoint documents captured and written")
+            age_gauge = telemetry.gauge(
+                "repro_checkpoint_last_time_ns",
+                "sim timestamp of the newest checkpoint (0 = none yet)")
+            telemetry.registry().add_collector(
+                lambda _reg, m=self, g=age_gauge: g.set(m.last_time_ns or 0))
+
+    def attach_dedup(self, dedup) -> None:
+        """Fold the archiver's SequenceDedup books into every capture
+        (the exactly-once half of the recovery invariant)."""
+        self._dedup = dedup
+
+    def age_ns(self, now_ns: int) -> Optional[int]:
+        if self.last_time_ns is None:
+            return None
+        return max(0, now_ns - self.last_time_ns)
+
+    def on_tick(self, cp) -> None:
+        """Called by the control plane after each destructive step, with
+        the *calling* control plane as argument."""
+        now = cp.sim.now
+        if (self.min_interval_ns
+                and self._last_capture_ns is not None
+                and now - self._last_capture_ns < self.min_interval_ns):
+            self.skipped += 1
+            return
+        self.capture(cp)
+
+    def capture(self, cp) -> str:
+        doc = capture_checkpoint(cp, dedup=self._dedup, seq=self.seq)
+        self.last_path = self.store.write(doc)
+        self.last_time_ns = doc["time_ns"]
+        self._last_capture_ns = doc["time_ns"]
+        self.seq += 1
+        self.captures += 1
+        if self._tel_captures is not None:
+            self._tel_captures.inc()
+        return self.last_path
+
+
+_manager: Optional[CheckpointManager] = None
+
+
+def install_manager(m: CheckpointManager) -> CheckpointManager:
+    """Make ``m`` the process-wide manager that control planes built
+    *after this call* bind.  Install before constructing the scenario
+    (same ordering contract as ``faults.install_injector``)."""
+    global _manager
+    _manager = m
+    return m
+
+
+def uninstall_manager() -> None:
+    global _manager
+    _manager = None
+
+
+def manager() -> Optional[CheckpointManager]:
+    return _manager

@@ -70,6 +70,15 @@ class _Pending:
         self.not_before_ns = not_before_ns
 
 
+def _rng_to_jsonable(rng: random.Random) -> list:
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def _rng_from_jsonable(state) -> tuple:
+    return (state[0], tuple(state[1]), state[2])
+
+
 class ResilientShipper:
     """At-least-once report sink with backoff, spool and dead letters."""
 
@@ -94,6 +103,9 @@ class ResilientShipper:
         self._spool: Deque[_Pending] = deque()
         self.dead_letters: List[dict] = []
         self.acked_seqs: Set[int] = set()
+        # (source, seq) pairs — distinguishes acks for redelivered
+        # envelopes inherited from a dead incarnation (crash recovery).
+        self.acked_keys: Set[tuple] = set()
         self._retry_event = None
 
         self.shipped_total = 0
@@ -176,6 +188,7 @@ class ResilientShipper:
         if breaker is not None:
             breaker.record_success(now)
         self.acked_seqs.add(doc["_seq"])
+        self.acked_keys.add((doc.get("_shipper", self.source), doc["_seq"]))
         self.acked_total += 1
         if self._tel_attempts is not None:
             self._tel_attempts.labels("acked").inc()
@@ -256,6 +269,14 @@ class ResilientShipper:
             self._arm_retry()
         return moved
 
+    def close(self) -> None:
+        """Cancel the pending retry timer (crash/stop teardown).  The
+        spool and dead letters stay readable — a supervisor records a
+        final :meth:`checkpoint_state` from a closed shipper."""
+        if self._retry_event is not None:
+            self._retry_event.cancel()
+            self._retry_event = None
+
     def stats(self) -> dict:
         return {
             "shipped": self.shipped_total,
@@ -269,6 +290,63 @@ class ResilientShipper:
             "dead_letters_redelivered": self.dead_letters_redelivered,
             "timestamps_skewed": self.skewed_total,
         }
+
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """JSON-able snapshot of everything a successor shipper needs to
+        finish this one's work: the spool (order-preserving), dead
+        letters, ack books, counters and the backoff RNG."""
+        return {
+            "source": self.source,
+            "seq": self.seq,
+            "spool": [{"doc": dict(p.doc), "attempts": p.attempts,
+                       "not_before_ns": p.not_before_ns}
+                      for p in self._spool],
+            "dead_letters": [dict(d) for d in self.dead_letters],
+            "acked_seqs": sorted(self.acked_seqs),
+            "acked_keys": sorted([src, seq] for src, seq in self.acked_keys),
+            "counters": {
+                "shipped_total": self.shipped_total,
+                "acked_total": self.acked_total,
+                "retries_total": self.retries_total,
+                "spool_overflow_total": self.spool_overflow_total,
+                "dead_letter_evictions": self.dead_letter_evictions,
+                "dead_letters_redelivered": self.dead_letters_redelivered,
+                "skewed_total": self.skewed_total,
+                "spool_high_watermark": self.spool_high_watermark,
+            },
+            "rng_state": _rng_to_jsonable(self._rng),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a checkpointed shipper's state.  ``source`` is *not*
+        restored: the restarted incarnation keeps its own (fresh) source
+        name so new envelopes never collide with a dead incarnation's
+        ``(source, seq)`` keys — redelivered old envelopes keep their
+        original keys and dedup against the original source."""
+        self.seq = int(state["seq"])
+        self._spool.clear()
+        for p in state["spool"]:
+            self._spool.append(_Pending(dict(p["doc"]), int(p["attempts"]),
+                                        int(p["not_before_ns"])))
+        self.dead_letters = [dict(d) for d in state["dead_letters"]]
+        self.acked_seqs = {int(s) for s in state["acked_seqs"]}
+        self.acked_keys = {(src, int(seq)) for src, seq in state["acked_keys"]}
+        c = state["counters"]
+        self.shipped_total = int(c["shipped_total"])
+        self.acked_total = int(c["acked_total"])
+        self.retries_total = int(c["retries_total"])
+        self.spool_overflow_total = int(c["spool_overflow_total"])
+        self.dead_letter_evictions = int(c["dead_letter_evictions"])
+        self.dead_letters_redelivered = int(c["dead_letters_redelivered"])
+        self.skewed_total = int(c["skewed_total"])
+        self.spool_high_watermark = int(c["spool_high_watermark"])
+        self._rng.setstate(_rng_from_jsonable(state["rng_state"]))
+        if self._retry_event is not None:
+            self._retry_event.cancel()
+            self._retry_event = None
+        self._arm_retry()
 
 
 class FaultyTransport:
@@ -338,3 +416,25 @@ class SequenceDedup:
     def seen_count(self, source: str) -> int:
         entry = self._sources.get(source)
         return len(entry[1]) if entry else 0
+
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """JSON-able snapshot of the per-source high-water marks and
+        seen windows (the exactly-once books)."""
+        return {
+            "window": self.window,
+            "duplicates": self.duplicates,
+            "assumed_old": self.assumed_old,
+            "sources": {src: {"max_seq": max_seq, "seen": sorted(seen)}
+                        for src, (max_seq, seen) in self._sources.items()},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.window = int(state["window"])
+        self.duplicates = int(state["duplicates"])
+        self.assumed_old = int(state["assumed_old"])
+        self._sources = {
+            src: (int(entry["max_seq"]), {int(s) for s in entry["seen"]})
+            for src, entry in state["sources"].items()
+        }

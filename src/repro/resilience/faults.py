@@ -129,6 +129,15 @@ class FaultInjector:
             self._count("clock_skew")
         return int(skew)
 
+    def cp_crashed(self) -> bool:
+        """True while a ``cp_crash`` window is active — the supervisor's
+        health probe reads this as "the control-plane process is dead"
+        (kills a live stack, fails restart attempts)."""
+        if self.schedule.active("cp_crash", self._clock()):
+            self._count("cp_crash")
+            return True
+        return False
+
     # -- per-attempt transport fate --------------------------------------------
 
     def transport_fate(self) -> Optional[str]:

@@ -28,7 +28,15 @@ kind                   effect
 ``cp_stall``           the control plane's extraction tick for ``metric``
                        (or all metrics) is deferred for the window
 ``clock_skew``         report timestamps are offset by ``offset_ms``
+``cp_crash``           the control-plane process is dead for the window;
+                       the :class:`~repro.resilience.supervisor.Supervisor`
+                       restarts it from the last checkpoint
 =====================  ========================================================
+
+Schedules are validated at construction: unknown fault kinds and
+overlapping same-kind windows (which would silently merge — one window's
+effect masking where the other starts and ends) are rejected with a
+clear error instead.
 """
 
 from __future__ import annotations
@@ -50,6 +58,7 @@ FAULT_KINDS = (
     "report_reorder",
     "cp_stall",
     "clock_skew",
+    "cp_crash",
 )
 
 #: Transport-level kinds decided per delivery attempt (the rest gate by
@@ -111,12 +120,43 @@ class FaultWindow:
                 f"+{self.duration_s:g}s{extra}]")
 
 
+def _windows_conflict(a: FaultWindow, b: FaultWindow) -> bool:
+    """Same-kind windows that overlap in time.  ``cp_stall`` windows for
+    *different* metrics may legitimately coexist; a metric-less stall
+    (all metrics) conflicts with any other stall."""
+    if a.kind != b.kind:
+        return False
+    if not (a.start_ns < b.end_ns and b.start_ns < a.end_ns):
+        return False
+    if a.kind == "cp_stall":
+        return a.metric is None or b.metric is None or a.metric == b.metric
+    return True
+
+
 @dataclass
 class FaultSchedule:
     """Everything the injector needs: seeded windows, replayable JSON."""
 
     seed: int = 0
     windows: List[FaultWindow] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject overlapping same-kind windows (unknown kinds are
+        already rejected by :class:`FaultWindow` itself).  Re-invoke
+        after appending windows to an existing schedule."""
+        ordered = sorted(self.windows, key=lambda w: (w.kind, w.start_ns))
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1:]:
+                if b.kind != a.kind:
+                    break
+                if _windows_conflict(a, b):
+                    raise ValueError(
+                        f"overlapping {b.kind} windows: {a} and {b} — "
+                        f"same-kind windows must not overlap (they would "
+                        f"silently merge); split or re-time them")
 
     # -- queries -------------------------------------------------------------
 

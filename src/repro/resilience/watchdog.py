@@ -12,6 +12,14 @@ this watchdog is the detector that makes stalls visible: it samples
 ``last_extraction_ns`` per metric class on an independent timer and
 counts/logs stall episodes and recoveries, exporting both through the
 telemetry registry so ``watch`` shows a stalled extractor immediately.
+
+The staleness verdict is deliberately computed on the *monotonic* sim
+clock: a ``clock_skew`` fault offsets report (wall-clock) timestamps,
+and a watchdog that compared skewed wall time against the deadline
+would raise spurious stall verdicts during every skew window.  The
+watchdog binds the installed fault injector at construction purely to
+*count* those near-misses (``skew_suppressed``), so chaos runs can
+assert the suppression actually engaged.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from typing import Dict, Set
 
 from repro import telemetry
 from repro.core.config import MetricKind
+from repro.resilience import faults
 
 log = logging.getLogger("repro.resilience.watchdog")
 
@@ -43,13 +52,23 @@ class ExtractionWatchdog:
         self.stalls: Dict[MetricKind, int] = {k: 0 for k in MetricKind}
         self.recoveries: Dict[MetricKind, int] = {k: 0 for k in MetricKind}
         self._stalled_now: Set[MetricKind] = set()
+        # Checks where the skewed wall-clock view exceeded the deadline
+        # but the monotonic view did not — the false stall verdicts the
+        # monotonic discipline suppressed.
+        self.skew_suppressed = 0
+        self._faults = faults.injector()
         self._timer = sim.every(check_interval_ns, self._check)
         self._tel_stalls = None
+        self._tel_skew_suppressed = None
         if telemetry.enabled():
             self._tel_stalls = telemetry.counter(
                 "repro_watchdog_stalls_total",
                 "extraction-tick stall episodes detected, per metric class",
                 labels=("metric",))
+            self._tel_skew_suppressed = telemetry.counter(
+                "repro_watchdog_skew_suppressed_total",
+                "stall verdicts that would have fired on the skewed "
+                "wall clock but not on the monotonic clock")
             stalled_gauge = telemetry.gauge(
                 "repro_watchdog_stalled_metrics",
                 "metric classes currently past their stall deadline")
@@ -66,11 +85,17 @@ class ExtractionWatchdog:
     def _check(self) -> None:
         cp = self.control_plane
         now = self.sim.now
+        skew = self._faults.clock_skew_ns() if self._faults is not None else 0
         for kind in MetricKind:
             last = cp.last_extraction_ns.get(kind)
             if last is None:
                 continue
-            if now - last > self._deadline_ns(kind):
+            deadline = self._deadline_ns(kind)
+            if skew and now - last <= deadline and (now + skew) - last > deadline:
+                self.skew_suppressed += 1
+                if self._tel_skew_suppressed is not None:
+                    self._tel_skew_suppressed.inc()
+            if now - last > deadline:
                 if kind not in self._stalled_now:
                     self._stalled_now.add(kind)
                     self.stalls[kind] += 1

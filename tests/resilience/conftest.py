@@ -6,15 +6,17 @@ faults into (or instrument) later tests."""
 import pytest
 
 from repro import telemetry
-from repro.resilience import faults
+from repro.resilience import checkpoint, faults
 
 
 @pytest.fixture(autouse=True)
 def clean_resilience():
     faults.uninstall()
+    checkpoint.uninstall_manager()
     telemetry.disable()
     telemetry.reset()
     yield
     faults.uninstall()
+    checkpoint.uninstall_manager()
     telemetry.disable()
     telemetry.reset()

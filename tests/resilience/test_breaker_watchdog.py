@@ -171,6 +171,51 @@ def test_watchdog_detects_stall_and_recovery():
     dog.cancel()
 
 
+def test_watchdog_skew_does_not_trip_spurious_stall():
+    # Regression: the staleness verdict must use the monotonic sim
+    # clock.  A 3 s wall-clock skew against a 2.5 s deadline would trip
+    # every metric if the watchdog compared skewed wall time; instead it
+    # only counts the suppressed near-miss.
+    from repro.resilience.faults import FaultInjector, install
+    from repro.resilience.schedule import FaultSchedule, FaultWindow
+
+    sim = Simulator()
+    injector = install(FaultInjector(FaultSchedule(seed=1, windows=[
+        FaultWindow("clock_skew", 1.0, 2.0, offset_ms=3000.0)])))
+    injector.bind_clock(lambda: sim.now)
+    cp = MonitorControlPlane(sim, small_monitor())
+    cp.start()
+    dog = ExtractionWatchdog(sim, cp, stall_factor=2.5)
+    sim.run_until(seconds(4.0))
+    assert dog.total_stalls == 0, \
+        "a healthy extractor under clock skew must not alarm"
+    assert dog.skew_suppressed > 0, \
+        "the suppressed wall-clock near-miss must be counted"
+    cp.stop()
+    dog.cancel()
+
+
+def test_watchdog_catches_genuine_stall_during_skew():
+    # The skew discipline must not mask a real stall: silence the
+    # extractor inside a skew window and the alarm still fires.
+    from repro.resilience.faults import FaultInjector, install
+    from repro.resilience.schedule import FaultSchedule, FaultWindow
+
+    sim = Simulator()
+    injector = install(FaultInjector(FaultSchedule(seed=1, windows=[
+        FaultWindow("clock_skew", 0.5, 5.0, offset_ms=3000.0)])))
+    injector.bind_clock(lambda: sim.now)
+    cp = MonitorControlPlane(sim, small_monitor())
+    cp.start()
+    dog = ExtractionWatchdog(sim, cp, stall_factor=2.5)
+    sim.run_until(seconds(1.0))
+    cp.stop()                         # the genuine stall
+    sim.run_until(seconds(4.2))
+    assert dog.stalled_metrics == set(MetricKind)
+    assert dog.total_stalls == len(MetricKind)
+    dog.cancel()
+
+
 def test_watchdog_rejects_bad_factor():
     sim = Simulator()
     cp = MonitorControlPlane(sim, small_monitor())

@@ -1,0 +1,147 @@
+"""Crash-recovery acceptance suite: seeded schedules with a mid-run
+``cp_crash`` must recover from checkpoints with zero acked-report loss,
+an exactly-once archive, no lost read-flip window (histogram and
+time-window packet mass conserve), a green oracle, and data-plane
+tallies matching an uncrashed twin run."""
+
+import pytest
+
+from repro.resilience import checkpoint
+from repro.resilience.chaos import (
+    RecoveryResult,
+    bundled_chaos,
+    run_crash_chaos,
+    with_crash,
+)
+from repro.resilience.supervisor import SupervisorPolicy
+
+CRASH_BUNDLES = ("archiver-outage", "lossy-transport", "cp-stall-skew")
+
+
+@pytest.fixture(scope="module")
+def crash_results():
+    """Three seeded schedules, each with a mid-run crash, run once."""
+    results = {}
+    for name in CRASH_BUNDLES:
+        spec = with_crash(bundled_chaos(seed=7)[name])
+        results[name] = run_crash_chaos(spec)
+    return results
+
+
+@pytest.mark.parametrize("name", CRASH_BUNDLES)
+def test_crash_recovery_settles_clean(crash_results, name):
+    result = crash_results[name]
+    assert isinstance(result, RecoveryResult)
+    assert result.passed, result.summary()
+    # The recovery invariants, spelled out:
+    assert result.kills >= 1, "the schedule must actually kill the CP"
+    assert result.restarts == result.kills
+    assert not result.gave_up
+    assert result.checkpoints_written > 0
+    assert not result.missing_acked_seqs, \
+        "acked reports must survive the crash (across all incarnations)"
+    assert not result.archived_duplicate_seqs, \
+        "redelivered spool entries must dedup, not double-archive"
+    assert not result.conservation_failures, \
+        "no read-flip window may be lost or double-counted"
+    assert not result.twin_failures, \
+        "data-plane tallies must match the uncrashed twin"
+    assert result.oracle_passed
+    assert result.injections.get("cp_crash", 0) > 0
+
+
+def test_crash_recovery_is_byte_reproducible():
+    spec = with_crash(bundled_chaos(seed=7)["lossy-transport"])
+    a = run_crash_chaos(spec, run_twin=False)
+    b = run_crash_chaos(with_crash(bundled_chaos(seed=7)["lossy-transport"]),
+                        run_twin=False)
+    assert a.passed and b.passed
+    assert a.archive_digest == b.archive_digest
+    assert (a.kills, a.restarts, a.checkpoints_written) == \
+        (b.kills, b.restarts, b.checkpoints_written)
+
+
+def test_run_crash_chaos_requires_a_crash_window():
+    with pytest.raises(ValueError, match="cp_crash"):
+        run_crash_chaos(bundled_chaos(seed=7)["archiver-outage"])
+
+
+def test_supervisor_gives_up_when_the_window_outlasts_its_patience():
+    spec = with_crash(bundled_chaos(seed=7)["archiver-outage"],
+                      duration_s=2.5)
+    result = run_crash_chaos(
+        spec, policy=SupervisorPolicy(max_restarts=2), run_twin=False)
+    assert result.gave_up
+    assert result.restarts == 0
+    assert not result.passed
+    assert any("gave up" in f for f in result.failures())
+
+
+def test_escalation_after_failed_attempts():
+    spec = with_crash(bundled_chaos(seed=7)["archiver-outage"])
+    result = run_crash_chaos(
+        spec, policy=SupervisorPolicy(escalate_after=1), run_twin=False)
+    assert result.passed, result.summary()
+    assert result.failed_attempts >= 1, \
+        "the crash window must outlast the first restart attempt"
+    assert result.escalations >= 1, \
+        "a restart after failed attempts must escalate (degraded mode)"
+
+
+def test_checkpoint_files_survive_in_a_named_dir(tmp_path):
+    spec = with_crash(bundled_chaos(seed=7)["archiver-outage"])
+    result = run_crash_chaos(spec, checkpoint_dir=str(tmp_path),
+                             run_twin=False)
+    assert result.passed, result.summary()
+    store = checkpoint.CheckpointStore(str(tmp_path))
+    assert store.paths(), "checkpoints must be on disk after the run"
+    doc = store.latest()
+    assert doc["schema"] == checkpoint.CHECKPOINT_SCHEMA
+    assert "dataplane_digest" in doc and "shipper" in doc
+
+
+def test_shared_checkpoint_dir_across_runs_never_restores_stale_state(tmp_path):
+    # Regression: the CLI reuses one --checkpoint-dir for every
+    # schedule.  The second run's manager must resume the store's
+    # numbering so its own checkpoints sort newest — a manager
+    # restarting at seq 0 would leave the first run's files as
+    # ``latest()`` and recovery would restore the wrong run's state
+    # (double-counted windows, alien ack books).
+    a = run_crash_chaos(with_crash(bundled_chaos(seed=7)["archiver-outage"]),
+                        checkpoint_dir=str(tmp_path), run_twin=False)
+    b = run_crash_chaos(with_crash(bundled_chaos(seed=7)["lossy-transport"]),
+                        checkpoint_dir=str(tmp_path), run_twin=False)
+    assert a.passed, a.summary()
+    assert b.passed, b.summary()
+
+
+def test_workload_inherent_oracle_misses_do_not_indict_recovery():
+    # Seed 7's traffic mix breaches a histogram accuracy tolerance once
+    # histograms are enabled — crash or no crash (the uncrashed twin
+    # fails the same check).  The twin-differential attribution keeps a
+    # workload-inherent miss from failing the recovery verdict, while
+    # any failure unique to the crashed run still would.
+    from repro.resilience.chaos import ChaosSpec
+
+    result = run_crash_chaos(with_crash(ChaosSpec.from_seed(7)))
+    assert result.passed, result.summary()
+    for failure in result.oracle_failures:
+        assert "workload-inherent" in failure, failure
+
+
+def test_compare_paths_green_with_checkpointing_enabled(tmp_path):
+    # The manager holds no control-plane reference: compare-paths builds
+    # two control planes (batched + scalar) against the one installed
+    # manager, and both paths must still be equivalent end to end.
+    from repro.validation.equivalence import compare_paths
+    from repro.validation.scenarios import ScenarioSpec
+
+    manager = checkpoint.install_manager(checkpoint.CheckpointManager(
+        checkpoint.CheckpointStore(str(tmp_path))))
+    try:
+        cmp = compare_paths(ScenarioSpec.from_seed(5))
+    finally:
+        checkpoint.uninstall_manager()
+    assert cmp.passed, cmp.summary()
+    assert manager.captures > 0, \
+        "both control planes must have been checkpointing during the run"

@@ -88,6 +88,68 @@ def test_clone_is_independent_and_overridable():
     assert copy.windows[0].duration_s != sched.windows[0].duration_s
 
 
+def test_overlapping_same_kind_windows_rejected():
+    with pytest.raises(ValueError, match="overlapping"):
+        FaultSchedule(seed=1, windows=[
+            FaultWindow("archiver_outage", 1.0, 2.0),
+            FaultWindow("archiver_outage", 2.5, 1.0),
+        ])
+
+
+def test_non_adjacent_overlap_rejected():
+    # The middle window sorts between the two conflicting ones: the
+    # validator must compare every same-kind pair, not just neighbours.
+    with pytest.raises(ValueError, match="overlapping"):
+        FaultSchedule(seed=1, windows=[
+            FaultWindow("cp_stall", 1.0, 5.0, metric="rtt"),
+            FaultWindow("cp_stall", 2.0, 1.0, metric="throughput"),
+            FaultWindow("cp_stall", 4.0, 1.0, metric="rtt"),
+        ])
+
+
+def test_different_kind_overlap_allowed():
+    sched = FaultSchedule(seed=1, windows=[
+        FaultWindow("archiver_outage", 1.0, 2.0),
+        FaultWindow("clock_skew", 1.5, 2.0, offset_ms=40.0),
+    ])
+    assert len(sched.windows) == 2
+
+
+def test_cp_stall_distinct_metrics_may_overlap():
+    sched = FaultSchedule(seed=1, windows=[
+        FaultWindow("cp_stall", 1.0, 2.0, metric="rtt"),
+        FaultWindow("cp_stall", 1.5, 2.0, metric="throughput"),
+    ])
+    assert len(sched.windows) == 2
+    # A metric-less stall hits every metric, so it conflicts with any
+    # concurrent stall.
+    with pytest.raises(ValueError, match="overlapping"):
+        FaultSchedule(seed=1, windows=[
+            FaultWindow("cp_stall", 1.0, 2.0),
+            FaultWindow("cp_stall", 1.5, 2.0, metric="rtt"),
+        ])
+
+
+def test_appended_window_caught_by_revalidate():
+    sched = FaultSchedule(seed=1, windows=[
+        FaultWindow("cp_crash", 2.0, 0.5)])
+    sched.windows.append(FaultWindow("cp_crash", 2.25, 0.5))
+    with pytest.raises(ValueError, match="overlapping"):
+        sched.validate()
+
+
+def test_cp_crash_round_trip(tmp_path):
+    sched = FaultSchedule(seed=21, windows=[
+        FaultWindow("cp_crash", 2.0, 0.6),
+        FaultWindow("archiver_outage", 1.0, 0.5),
+    ])
+    path = tmp_path / "crash.json"
+    sched.save(path)
+    loaded = FaultSchedule.load(path)
+    assert loaded == sched
+    assert loaded.has("cp_crash")
+
+
 def test_bundled_schedules_are_valid():
     bundles = bundled_schedules()
     assert set(bundles) == {"archiver-outage", "slow-drain",
